@@ -1,0 +1,277 @@
+// Benchmarks regenerating the paper's quantitative results (one benchmark
+// per experiment of DESIGN.md's index, delegating to internal/experiments
+// in quick mode) plus micro-benchmarks of the core operations. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/experiments"
+	"repro/internal/families"
+	"repro/internal/guarded"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/simplify"
+	"repro/internal/tm"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Experiment regenerators (see DESIGN.md per-experiment index).
+
+func BenchmarkXPDepthGrowth(b *testing.B)         { benchExperiment(b, "XP-DEPTH") }
+func BenchmarkXPDepthBound(b *testing.B)          { benchExperiment(b, "XP-DEPTH-BOUND") }
+func BenchmarkXPGuardedTree(b *testing.B)         { benchExperiment(b, "XP-GTREE") }
+func BenchmarkXPSizeLinear(b *testing.B)          { benchExperiment(b, "XP-SIZE-LINEAR") }
+func BenchmarkXPLowerBoundSL(b *testing.B)        { benchExperiment(b, "XP-LB-SL") }
+func BenchmarkXPLowerBoundL(b *testing.B)         { benchExperiment(b, "XP-LB-L") }
+func BenchmarkXPLowerBoundG(b *testing.B)         { benchExperiment(b, "XP-LB-G") }
+func BenchmarkXPSimplify(b *testing.B)            { benchExperiment(b, "XP-SIMPLIFY") }
+func BenchmarkXPLinearize(b *testing.B)           { benchExperiment(b, "XP-LINEARIZE") }
+func BenchmarkXPDeciders(b *testing.B)            { benchExperiment(b, "XP-DECIDE") }
+func BenchmarkXPUCQ(b *testing.B)                 { benchExperiment(b, "XP-UCQ") }
+func BenchmarkXPTuring(b *testing.B)              { benchExperiment(b, "XP-TM") }
+func BenchmarkXPEngines(b *testing.B)             { benchExperiment(b, "XP-ENGINES") }
+func BenchmarkXPUniformVsNonUniform(b *testing.B) { benchExperiment(b, "XP-UNIFORM") }
+func BenchmarkXPAblation(b *testing.B)            { benchExperiment(b, "XP-ABLATION") }
+func BenchmarkXPLinTypes(b *testing.B)            { benchExperiment(b, "XP-LIN-TYPES") }
+func BenchmarkXPOBDA(b *testing.B)                { benchExperiment(b, "XP-OBDA") }
+func BenchmarkXPProfile(b *testing.B)             { benchExperiment(b, "XP-PROFILE") }
+func BenchmarkXPRestricted(b *testing.B)          { benchExperiment(b, "XP-RESTRICTED") }
+
+// Micro-benchmarks of the core operations.
+
+// BenchmarkChaseThroughput measures semi-oblivious chase speed on the
+// Theorem 6.5 family (a saturation-heavy workload) in atoms per second.
+func BenchmarkChaseThroughput(b *testing.B) {
+	w := families.SLLower(2, 2, 2)
+	b.ResetTimer()
+	atoms := 0
+	for i := 0; i < b.N; i++ {
+		res := chase.Run(w.Database, w.Sigma, chase.Options{})
+		if !res.Terminated {
+			b.Fatal("unexpected budget hit")
+		}
+		atoms = res.Instance.Len()
+	}
+	b.ReportMetric(float64(atoms), "atoms/op")
+}
+
+// BenchmarkChaseGuarded measures the guarded family's chase (arity-6
+// joins, 40+ TGDs).
+func BenchmarkChaseGuarded(b *testing.B) {
+	w := families.GLower(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := chase.Run(w.Database, w.Sigma, chase.Options{})
+		if !res.Terminated {
+			b.Fatal("unexpected budget hit")
+		}
+	}
+}
+
+// BenchmarkChaseVariants compares the three engines on a shared workload.
+func BenchmarkChaseVariants(b *testing.B) {
+	db := parser.MustParseDatabase(`e(a, b). e(b, c). e(c, d). e(d, a).`)
+	rules := parser.MustParseRules(`
+		e(X, Y) -> ∃Z m(Y, Z).
+		m(X, Z) -> p(X).
+	`)
+	for _, v := range []chase.Variant{chase.SemiOblivious, chase.Oblivious, chase.Restricted} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chase.Run(db, rules, chase.Options{Variant: v})
+			}
+		})
+	}
+}
+
+// BenchmarkMatch measures the conjunctive matcher on a 3-way join.
+func BenchmarkMatch(b *testing.B) {
+	in := logic.NewInstance()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		in.Add(logic.MakeAtom("e",
+			logic.Constant(string(rune('a'+rng.Intn(26)))),
+			logic.Constant(string(rune('a'+rng.Intn(26))))))
+	}
+	x, y, z := logic.Variable("X"), logic.Variable("Y"), logic.Variable("Z")
+	body := []*logic.Atom{
+		logic.MakeAtom("e", x, y),
+		logic.MakeAtom("e", y, z),
+		logic.MakeAtom("e", z, x),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		logic.MatchAll(body, in, -1, func(logic.Substitution) bool {
+			count++
+			return true
+		})
+	}
+}
+
+// BenchmarkWeakAcyclicity measures the non-uniform WA check on the
+// guarded family's (large) gsimple output-scale dependency graph.
+func BenchmarkWeakAcyclicity(b *testing.B) {
+	w := families.GLower(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		depgraph.IsWeaklyAcyclicFor(w.Database, w.Sigma)
+	}
+}
+
+// BenchmarkSimplifySet measures simplification of an arity-4 linear set
+// (Bell-number many specializations per TGD).
+func BenchmarkSimplifySet(b *testing.B) {
+	w := families.LLower(1, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simplify.Set(w.Sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompletion measures the guarded completion engine.
+func BenchmarkCompletion(b *testing.B) {
+	sigma := parser.MustParseRules(`
+		e(X, Y) -> ∃Z e(Y, Z).
+		e(X, Y) -> p(X).
+		p(X) -> ∃W q(X, W).
+		q(X, W) -> p(X).
+	`)
+	db := parser.MustParseDatabase(`e(a, b). e(b, c).`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := guarded.Complete(db, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinearize measures full reachable linearization of a guarded
+// set.
+func BenchmarkLinearize(b *testing.B) {
+	sigma := parser.MustParseRules(`
+		e(X, Y), s(X) -> ∃Z e(Y, Z).
+		e(X, Y), s(X) -> s(Y).
+	`)
+	db := parser.MustParseDatabase(`e(a, b). s(a). e(b, b).`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := guarded.NewLinearizer(sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := l.Linearize(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeciders measures the three syntactic deciders end to end.
+func BenchmarkDeciders(b *testing.B) {
+	slW := families.SLLower(4, 2, 2)
+	lW := families.LLower(4, 1, 2)
+	gW := families.GLower(1, 1, 1)
+	b.Run("SL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecideSL(slW.Database, slW.Sigma); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("L", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecideL(lW.Database, lW.Sigma); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("G", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecideG(gW.Database, gW.Sigma); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkUCQEval measures UCQ evaluation over a growing database (the
+// AC⁰ data-complexity procedure's data-side cost).
+func BenchmarkUCQEval(b *testing.B) {
+	sigma := parser.MustParseRules(`
+		p(X) -> ∃Y r(X, Y).
+		r(X, Y) -> ∃Z r(Y, Z).
+	`)
+	q, err := core.BuildUCQSL(sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := logic.NewInstance()
+	for i := 0; i < 10000; i++ {
+		db.Add(logic.MakeAtom("q2", logic.Constant(string(rune('a'+i%26))+string(rune('0'+i%10)))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.EvalExact(db) {
+			b.Fatal("unreachable predicates must not satisfy Q")
+		}
+	}
+}
+
+// BenchmarkTuringChase measures the Appendix A reduction end to end for a
+// short halting computation.
+func BenchmarkTuringChase(b *testing.B) {
+	m := tm.BounceAndHalt(2)
+	db := m.Database()
+	sigma := tm.FixedSigma()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := chase.Run(db, sigma, chase.Options{MaxAtoms: 100000})
+		if !res.Terminated {
+			b.Fatal("halting machine must terminate")
+		}
+	}
+}
+
+// BenchmarkParser measures parsing throughput.
+func BenchmarkParser(b *testing.B) {
+	src := `
+		person(alice). person(bob). knows(alice, bob).
+		knows(X, Y) -> person(Y).
+		person(X) -> ∃Y likes(X, Y).
+		likes(X, Y), person(X) -> ∃Z wants(X, Z), item(Z).
+	`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

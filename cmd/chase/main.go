@@ -1,0 +1,85 @@
+// Command chase runs the (semi-oblivious, oblivious, or restricted) chase
+// of a database with respect to a set of TGDs, both read from DLGP-style
+// text files, and prints the resulting instance and statistics.
+//
+// Usage:
+//
+//	chase -data db.dlgp -rules onto.dlgp [-engine semi|oblivious|restricted]
+//	      [-max-atoms N] [-stats] [-quiet]
+//
+// Facts and rules may also live in a single file passed via -program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chase"
+	"repro/internal/cli"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "database file (facts)")
+		rulesPath = flag.String("rules", "", "rules file (TGDs)")
+		program   = flag.String("program", "", "combined program file (facts + rules)")
+		engine    = flag.String("engine", "semi", "chase variant: semi, oblivious, restricted")
+		maxAtoms  = flag.Int("max-atoms", 1000000, "atom budget (0 = unlimited)")
+		stats     = flag.Bool("stats", false, "print run statistics")
+		quiet     = flag.Bool("quiet", false, "suppress the result instance")
+		format    = flag.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
+	)
+	flag.Parse()
+
+	db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chase:", err)
+		os.Exit(2)
+	}
+	var variant chase.Variant
+	switch *engine {
+	case "semi", "semi-oblivious":
+		variant = chase.SemiOblivious
+	case "oblivious":
+		variant = chase.Oblivious
+	case "restricted", "standard":
+		variant = chase.Restricted
+	default:
+		fmt.Fprintf(os.Stderr, "chase: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	res := chase.Run(db, rules, chase.Options{Variant: variant, MaxAtoms: *maxAtoms})
+	if !*quiet {
+		switch *format {
+		case "dlgp":
+			if err := parser.FormatDatabase(os.Stdout, res.Instance); err != nil {
+				fmt.Fprintln(os.Stderr, "chase:", err)
+				os.Exit(1)
+			}
+		default:
+			atoms := make([]*logic.Atom, len(res.Instance.Atoms()))
+			copy(atoms, res.Instance.Atoms())
+			for _, a := range logic.SortAtoms(atoms) {
+				fmt.Println(a)
+			}
+		}
+	}
+	if !res.Terminated {
+		fmt.Fprintf(os.Stderr, "chase: budget exhausted after %d atoms; the chase may be infinite\n",
+			res.Instance.Len())
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr,
+			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v\n",
+			variant, s.Atoms, s.InitialAtoms, s.Rounds, s.TriggersFired, s.TriggersConsidered,
+			s.Nulls, s.MaxDepth, res.Terminated)
+	}
+	if !res.Terminated {
+		os.Exit(1)
+	}
+}

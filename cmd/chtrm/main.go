@@ -1,0 +1,126 @@
+// Command chtrm decides non-uniform chase termination: given a database D
+// and a set Σ of TGDs, does the semi-oblivious chase of D with Σ
+// terminate? For simple linear, linear, and guarded sets it applies the
+// paper's characterizations (Theorems 6.4, 7.5, 8.3); the naive
+// chase-materialization procedure and the UCQ data-complexity procedure
+// are available for comparison.
+//
+// Usage:
+//
+//	chtrm -data db.dlgp -rules onto.dlgp [-method syntactic|naive|ucq]
+//	      [-max-atoms N] [-show-bounds]
+//
+// Exit status: 0 terminating, 1 non-terminating, 3 unknown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "database file (facts)")
+		rulesPath  = flag.String("rules", "", "rules file (TGDs)")
+		program    = flag.String("program", "", "combined program file (facts + rules)")
+		method     = flag.String("method", "syntactic", "decision method: syntactic, naive, ucq")
+		maxAtoms   = flag.Int("max-atoms", 1000000, "atom cap for the naive method")
+		showBounds = flag.Bool("show-bounds", false, "print d_C(Σ) and f_C(Σ)")
+		dotPath    = flag.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
+		uniform    = flag.Bool("uniform", false, "decide uniform termination (every database) instead")
+	)
+	flag.Parse()
+
+	db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chtrm:", err)
+		os.Exit(2)
+	}
+	class := rules.Classify()
+	fmt.Printf("class: %v (%d TGDs, %d predicates, arity %d, ‖Σ‖=%d)\n",
+		class, rules.Len(), len(rules.Schema()), rules.Arity(), rules.Norm())
+
+	if *showBounds && class != tgds.ClassTGD {
+		b := core.SizeBound(rules, class)
+		fmt.Printf("depth bound d_%v(Σ) = %v\n", class, b.Depth)
+		if b.Size != nil {
+			fmt.Printf("size bound f_%v(Σ) = %v\n", class, b.Size)
+		} else {
+			fmt.Printf("size bound f_%v(Σ) ≈ 2^%.1f (not materialized)\n", class, b.Log2Size)
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chtrm:", err)
+			os.Exit(2)
+		}
+		if err := depgraph.Build(rules).Dot(f, "dg", nil); err != nil {
+			fmt.Fprintln(os.Stderr, "chtrm:", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "chtrm:", err)
+			os.Exit(2)
+		}
+	}
+
+	var verdict *core.Verdict
+	switch {
+	case *uniform:
+		verdict, err = core.DecideUniform(rules)
+	case *method == "syntactic":
+		verdict, err = core.Decide(db, rules)
+	case *method == "naive":
+		verdict, err = core.DecideNaive(db, rules, *maxAtoms)
+	case *method == "ucq":
+		verdict, err = decideUCQ(db, rules, class)
+	default:
+		err = fmt.Errorf("chtrm: unknown method %q", *method)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Println(verdict)
+	switch verdict.Outcome {
+	case core.Finite:
+	case core.Infinite:
+		os.Exit(1)
+	default:
+		os.Exit(3)
+	}
+}
+
+func decideUCQ(db *logic.Instance, rules *tgds.Set, class tgds.Class) (*core.Verdict, error) {
+	var (
+		q   core.UCQ
+		err error
+	)
+	switch class {
+	case tgds.ClassSL:
+		q, err = core.BuildUCQSL(rules)
+	case tgds.ClassL:
+		q, err = core.BuildUCQL(rules)
+	default:
+		return nil, fmt.Errorf("chtrm: the UCQ method applies to simple linear and linear sets only")
+	}
+	if err != nil {
+		return nil, err
+	}
+	v := &core.Verdict{Class: class, Method: "UCQ evaluation (exact pattern semantics)"}
+	if q.EvalExact(db) {
+		v.Outcome = core.Infinite
+		v.Certificate = "D satisfies " + q.String()
+	} else {
+		v.Outcome = core.Finite
+	}
+	return v, nil
+}

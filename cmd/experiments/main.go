@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's quantitative results as
+// tables. Each experiment corresponds to a theorem, proposition or lemma
+// of "Non-Uniformly Terminating Chase: Size and Complexity" (PODS 2022);
+// see DESIGN.md for the index and EXPERIMENTS.md for recorded outputs.
+//
+// Usage:
+//
+//	experiments [-exp ID | -exp all] [-quick] [-format table|csv] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (e.g. XP-LB-SL) or 'all'")
+		quick  = flag.Bool("quick", false, "run reduced parameter sweeps")
+		format = flag.String("format", "table", "output format: table or csv")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	for _, e := range selected {
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		table.ID = e.ID
+		table.Title = e.Title
+		table.Claim = e.Claim
+		var werr error
+		if *format == "csv" {
+			werr = table.CSV(os.Stdout)
+		} else {
+			werr = table.Render(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Non-Uniformly
+// Terminating Chase: Size and Complexity" (Calautti, Gottlob, Pieris,
+// PODS 2022): the semi-oblivious chase, the non-uniform termination
+// characterizations for simple linear, linear, and guarded TGDs, the
+// simplification and linearization transformations, the worst-case size
+// bound families, and the Appendix A undecidability reduction.
+//
+// The implementation lives under internal/ (one package per subsystem;
+// internal/core carries the termination deciders — the paper's primary
+// contribution). Executables live under cmd/ (chase, chtrm, experiments),
+// runnable scenarios under examples/, and bench_test.go in this directory
+// regenerates every quantitative claim of the paper as a benchmark. See
+// README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,63 @@
+// Termination analysis tour: one linear ontology, several databases, and
+// the three decision procedures of the paper side by side — the syntactic
+// characterization (Theorem 7.5), the Σ-only UCQ evaluated over the
+// database (Theorem 7.7, AC⁰ in data complexity), and the naive chase
+// materialization. Includes Example 7.1, where plain non-uniform
+// weak-acyclicity is wrong and simplification repairs it.
+//
+//	go run ./examples/termination
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/parser"
+)
+
+func main() {
+	// Example 7.1 of the paper plus a genuinely cyclic rule with a feeder.
+	rules := parser.MustParseRules(`
+		r(X, X) -> ∃Z r(Z, X).
+		q(X, Y) -> ∃Z q(Y, Z).
+		p(X) -> ∃Z q(Z, Z).
+	`)
+	fmt.Printf("ontology (class %v):\n%v\n\n", rules.Classify(), rules)
+
+	q, err := core.BuildUCQL(rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("termination UCQ Q_Σ (depends only on Σ):\n  %v\n\n", q)
+
+	databases := []string{
+		`r(a, b).`, // Example 7.1: finite although not D-weakly-acyclic
+		`r(a, a).`, // diagonal atom, but σ1 only adds non-diagonal atoms: finite
+		`q(a, b).`, // feeds the q cycle directly: infinite
+		`p(a).`,    // derives a q atom that feeds the cycle: infinite
+		`s(a).`,    // untouched by Σ: finite
+	}
+	for _, src := range databases {
+		db := parser.MustParseDatabase(src)
+		syntactic, err := core.DecideL(db, rules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive, err := core.DecideNaive(db, rules, 100000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ucq := "finite"
+		if q.EvalExact(db) {
+			ucq = "infinite"
+		}
+		wa, _ := depgraph.IsWeaklyAcyclicFor(db, rules)
+		fmt.Printf("D = %-10s syntactic=%-8v ucq=%-8s naive=%-8v (raw D-weak-acyclicity: %v)\n",
+			src, syntactic.Outcome, ucq, naive.Outcome, wa)
+	}
+	fmt.Println("\nOn the r databases the raw D-weak-acyclicity test rejects, but the")
+	fmt.Println("chase is finite: simplification (Theorem 7.5) and the UCQ repair the")
+	fmt.Println("characterization, and the naive materialization confirms them.")
+}

@@ -1,0 +1,323 @@
+// Package chase implements the chase procedure of Section 3 of the paper.
+//
+// The primary engine is the semi-oblivious chase: a trigger (σ, h) maps the
+// body of σ into the current instance; the atoms it produces replace each
+// existential variable z by the canonical null ⊥^z_{σ, h|fr(σ)}, so the
+// result of a trigger depends only on the frontier restriction of h and
+// every valid derivation reaches the same result chase(D, Σ). Two baseline
+// variants are provided: the oblivious chase (nulls keyed by the full
+// homomorphism) and the restricted (standard) chase (a trigger fires only
+// if its head is not already satisfied by an extension of h|fr).
+//
+// Derivations are round-based and fair: every trigger active at the start
+// of a round is applied (or found inactive) within that round, and
+// semi-naive matching considers only homomorphisms that touch at least one
+// atom from the previous round. Budgets on atoms and rounds allow callers
+// to run the chase on non-terminating inputs.
+package chase
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Variant selects the chase flavor.
+type Variant int
+
+const (
+	// SemiOblivious is the paper's chase: one firing per (σ, h|fr(σ)).
+	SemiOblivious Variant = iota
+	// Oblivious fires once per (σ, h) with nulls keyed by the full h.
+	Oblivious
+	// Restricted fires a trigger only when its head is not satisfied.
+	Restricted
+)
+
+// String returns the conventional name of the variant.
+func (v Variant) String() string {
+	switch v {
+	case SemiOblivious:
+		return "semi-oblivious"
+	case Oblivious:
+		return "oblivious"
+	default:
+		return "restricted"
+	}
+}
+
+// Options configures a chase run. The zero value runs the semi-oblivious
+// chase without budgets or forest tracking.
+type Options struct {
+	Variant Variant
+	// MaxAtoms stops the run once the instance holds more than MaxAtoms
+	// atoms (0 means unlimited). The run is then reported as not
+	// terminated.
+	MaxAtoms int
+	// MaxRounds bounds the number of saturation rounds (0 = unlimited).
+	MaxRounds int
+	// TrackForest records the guarded chase forest (parent = image of the
+	// guard atom). It requires every TGD to be guarded.
+	TrackForest bool
+	// RecordDerivation records the sequence of trigger applications so
+	// that callers can inspect or Validate the derivation.
+	RecordDerivation bool
+	// NoSemiNaive disables delta-restricted matching: every round
+	// re-enumerates all homomorphisms. It exists for the ablation
+	// experiment and produces identical results, slower.
+	NoSemiNaive bool
+}
+
+// Stats aggregates counters of a run.
+type Stats struct {
+	InitialAtoms       int
+	Atoms              int
+	Rounds             int
+	TriggersConsidered int
+	TriggersFired      int
+	Nulls              int
+	MaxDepth           int
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Instance is the constructed instance (the full chase(D, Σ) when
+	// Terminated is true, a prefix otherwise).
+	Instance *logic.Instance
+	// Terminated reports whether a fixpoint was reached within budget.
+	Terminated bool
+	Stats      Stats
+	// Forest is non-nil when Options.TrackForest was set.
+	Forest *Forest
+	// Derivation is non-nil when Options.RecordDerivation was set.
+	Derivation *Derivation
+}
+
+// MaxDepth returns maxdepth(D, Σ) for the constructed prefix.
+func (r *Result) MaxDepth() int { return r.Stats.MaxDepth }
+
+// Run chases the database db with the TGD set sigma under the given
+// options and returns the result. The input instance is not modified.
+func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
+	e := &engine{
+		sigma:   sigma,
+		opts:    opts,
+		inst:    db.Clone(),
+		nulls:   logic.NewNullFactory(),
+		fired:   make(map[string]bool),
+		initial: db.Len(),
+	}
+	if opts.TrackForest {
+		e.forest = newForest(e.inst.Atoms())
+	}
+	if opts.RecordDerivation {
+		e.derivation = &Derivation{Initial: db.Clone()}
+	}
+	terminated := e.run()
+	res := &Result{Instance: e.inst, Terminated: terminated, Forest: e.forest, Derivation: e.derivation}
+	res.Stats = e.stats()
+	return res
+}
+
+type pendingTrigger struct {
+	tgd   *tgds.TGD
+	hFull logic.Substitution // full homomorphism (restricted variant needs it)
+	hFr   logic.Substitution // frontier restriction
+	guard *logic.Atom        // image of the guard (forest tracking)
+}
+
+type engine struct {
+	sigma      *tgds.Set
+	opts       Options
+	inst       *logic.Instance
+	nulls      *logic.NullFactory
+	fired      map[string]bool
+	forest     *Forest
+	derivation *Derivation
+	initial    int
+
+	rounds     int
+	considered int
+	firedCount int
+}
+
+func (e *engine) stats() Stats {
+	return Stats{
+		InitialAtoms:       e.initial,
+		Atoms:              e.inst.Len(),
+		Rounds:             e.rounds,
+		TriggersConsidered: e.considered,
+		TriggersFired:      e.firedCount,
+		Nulls:              e.nulls.Len(),
+		MaxDepth:           e.nulls.MaxDepth(),
+	}
+}
+
+// run saturates the instance; it returns true when a fixpoint was reached.
+func (e *engine) run() bool {
+	deltaStart := 0
+	for {
+		if e.opts.MaxRounds > 0 && e.rounds >= e.opts.MaxRounds {
+			return false
+		}
+		e.rounds++
+		pending := e.collect(deltaStart)
+		deltaStart = e.inst.Len()
+		added := e.apply(pending)
+		if added == 0 {
+			return true
+		}
+		if e.opts.MaxAtoms > 0 && e.inst.Len() > e.opts.MaxAtoms {
+			return false
+		}
+	}
+}
+
+// collect gathers the triggers of this round. In the first round all
+// homomorphisms are considered; afterwards only those touching the delta.
+func (e *engine) collect(deltaStart int) []pendingTrigger {
+	var pending []pendingTrigger
+	ds := deltaStart
+	if e.rounds == 1 || e.opts.NoSemiNaive {
+		ds = -1
+	}
+	for _, t := range e.sigma.TGDs {
+		t := t
+		logic.MatchAll(t.Body, e.inst, ds, func(h logic.Substitution) bool {
+			e.considered++
+			key := e.fireKey(t, h)
+			if e.fired[key] {
+				return true
+			}
+			e.fired[key] = true
+			p := pendingTrigger{tgd: t, hFr: h.Restrict(t.Frontier())}
+			if e.opts.Variant == Restricted {
+				p.hFull = h.Clone()
+			}
+			if e.opts.Variant == Oblivious {
+				// The null key must capture the full homomorphism.
+				p.hFull = h.Clone()
+			}
+			if e.forest != nil {
+				p.guard = e.inst.Canonical(h.ApplyAtom(t.Guard()))
+			}
+			pending = append(pending, p)
+			return true
+		})
+	}
+	return pending
+}
+
+// apply fires the pending triggers sequentially and returns the number of
+// atoms added. For the restricted variant, each trigger's head
+// satisfaction is re-checked against the current instance, so the run is a
+// valid (fair) restricted derivation.
+func (e *engine) apply(pending []pendingTrigger) int {
+	added := 0
+	for _, p := range pending {
+		if e.opts.MaxAtoms > 0 && e.inst.Len() > e.opts.MaxAtoms {
+			break
+		}
+		if e.opts.Variant == Restricted && e.headSatisfied(p) {
+			continue
+		}
+		atoms := e.instantiateHead(p)
+		fired := false
+		var produced []*logic.Atom
+		for _, a := range atoms {
+			if e.inst.Add(a) {
+				added++
+				fired = true
+				produced = append(produced, a)
+				if e.forest != nil {
+					e.forest.setParent(a, p.guard)
+				}
+			}
+		}
+		if fired {
+			e.firedCount++
+		}
+		if e.derivation != nil && fired {
+			e.derivation.Steps = append(e.derivation.Steps, Step{
+				TGD:      p.tgd,
+				Frontier: p.hFr.Clone(),
+				Produced: produced,
+			})
+		}
+	}
+	return added
+}
+
+// headSatisfied reports whether some extension of h|fr maps the head into
+// the instance (the restricted chase's activity test).
+func (e *engine) headSatisfied(p pendingTrigger) bool {
+	return logic.ExtendOne(p.tgd.Head, e.inst, p.hFr) != nil
+}
+
+// instantiateHead computes result(σ, h): head atoms with frontier
+// variables replaced by their images and existential variables by
+// canonical nulls.
+func (e *engine) instantiateHead(p pendingTrigger) []*logic.Atom {
+	mu := p.hFr.Clone()
+	for _, z := range p.tgd.Existential() {
+		key := e.nullKey(p, z)
+		depth := 1
+		for _, x := range p.tgd.Frontier() {
+			if d := logic.TermDepth(mu[x]); d+1 > depth {
+				depth = d + 1
+			}
+		}
+		n, _ := e.nulls.Intern(key, depth)
+		mu[z] = n
+	}
+	out := make([]*logic.Atom, len(p.tgd.Head))
+	for i, a := range p.tgd.Head {
+		out[i] = mu.ApplyAtom(a)
+	}
+	return out
+}
+
+// fireKey identifies a trigger for at-most-once firing: per frontier
+// assignment for the semi-oblivious chase, per full homomorphism for the
+// oblivious and restricted chases.
+func (e *engine) fireKey(t *tgds.TGD, h logic.Substitution) string {
+	var vars []logic.Variable
+	switch e.opts.Variant {
+	case SemiOblivious:
+		vars = t.Frontier()
+	default:
+		vars = t.BodyVariables()
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	}
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(t.ID))
+	for _, v := range vars {
+		b.WriteByte('\x01')
+		b.WriteString(h[v].Key())
+	}
+	return b.String()
+}
+
+// nullKey realizes the canonical null name ⊥^z_{σ, h|fr(σ)} (or the
+// oblivious ⊥^z_{σ, h}).
+func (e *engine) nullKey(p pendingTrigger, z logic.Variable) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(p.tgd.ID))
+	b.WriteByte('\x02')
+	b.WriteString(string(z))
+	h := p.hFr
+	vars := p.tgd.Frontier()
+	if e.opts.Variant == Oblivious {
+		h = p.hFull
+		vars = p.tgd.BodyVariables()
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	}
+	for _, v := range vars {
+		b.WriteByte('\x01')
+		b.WriteString(h[v].Key())
+	}
+	return b.String()
+}

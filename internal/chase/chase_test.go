@@ -1,0 +1,242 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+func run(t *testing.T, dbSrc, rulesSrc string, opts Options) *Result {
+	t.Helper()
+	db, err := parser.ParseDatabase(dbSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := parser.ParseRules(rulesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(db, rules, opts)
+}
+
+func TestChaseTerminatesSimple(t *testing.T) {
+	res := run(t, `r(a, b).`, `r(X, Y) -> p(X).`, Options{})
+	if !res.Terminated {
+		t.Fatal("chase must terminate")
+	}
+	if res.Instance.Len() != 2 {
+		t.Fatalf("|chase| = %d, want 2", res.Instance.Len())
+	}
+	if !res.Instance.Has(logic.MakeAtom("p", logic.Constant("a"))) {
+		t.Fatal("p(a) missing")
+	}
+}
+
+// The canonical infinite example of Section 3: R(a,b) with
+// R(x,y) -> ∃z R(y,z) never terminates.
+func TestChaseInfiniteBudget(t *testing.T) {
+	res := run(t, `r(a, b).`, `r(X, Y) -> ∃Z r(Y, Z).`, Options{MaxAtoms: 50})
+	if res.Terminated {
+		t.Fatal("chase must hit the budget")
+	}
+	if res.Instance.Len() <= 50 {
+		t.Fatalf("budget stop at %d atoms", res.Instance.Len())
+	}
+	// Depth must grow linearly along the chain.
+	if res.MaxDepth() < 10 {
+		t.Fatalf("max depth = %d, want deep chain", res.MaxDepth())
+	}
+}
+
+// Fairness (Section 3): with σ = R(x,y) -> ∃z R(y,z) and
+// σ' = R(x,y) -> P(x,y), every R atom must eventually get its P twin.
+func TestChaseFairness(t *testing.T) {
+	res := run(t, `r(a, b).`,
+		`r(X, Y) -> ∃Z r(Y, Z).
+		 r(X, Y) -> p(X, Y).`,
+		Options{MaxAtoms: 400})
+	if res.Terminated {
+		t.Fatal("expected budgeted run")
+	}
+	rPred := logic.Predicate{Name: "r", Arity: 2}
+	pPred := logic.Predicate{Name: "p", Arity: 2}
+	rs := res.Instance.ByPred(rPred)
+	ps := res.Instance.ByPred(pPred)
+	// Round-based fairness: all but the final round's R atoms have P twins.
+	if len(ps) < len(rs)-len(rs)/2-2 {
+		t.Fatalf("unfair derivation: %d r atoms, %d p atoms", len(rs), len(ps))
+	}
+	for _, p := range ps {
+		if !res.Instance.Has(logic.NewAtom(rPred, p.Args...)) {
+			t.Fatalf("p atom %v without r twin", p)
+		}
+	}
+}
+
+// Semi-oblivious determinism: the result is independent of anything
+// order-related; two runs produce identical canonical instances.
+func TestChaseDeterminism(t *testing.T) {
+	dbSrc := `e(a, b). e(b, c). e(c, a). s(a).`
+	rules := `e(X, Y), s(X) -> ∃W m(Y, W).
+	          m(X, W) -> s(X).`
+	r1 := run(t, dbSrc, rules, Options{})
+	r2 := run(t, dbSrc, rules, Options{})
+	if !r1.Terminated || !r2.Terminated {
+		t.Fatal("runs must terminate")
+	}
+	if r1.Instance.CanonicalKey() != r2.Instance.CanonicalKey() {
+		t.Fatal("semi-oblivious chase must be deterministic")
+	}
+}
+
+// Semi-oblivious null sharing: triggers agreeing on the frontier reuse the
+// same null; the oblivious chase creates one null per homomorphism.
+func TestSemiObliviousVsOblivious(t *testing.T) {
+	dbSrc := `r(a, b). r(a, c).`
+	// Frontier of the rule is {X} only.
+	rules := `r(X, Y) -> ∃Z s(X, Z).`
+	semi := run(t, dbSrc, rules, Options{Variant: SemiOblivious})
+	obl := run(t, dbSrc, rules, Options{Variant: Oblivious})
+	if !semi.Terminated || !obl.Terminated {
+		t.Fatal("both runs must terminate")
+	}
+	if semi.Stats.Nulls != 1 {
+		t.Fatalf("semi-oblivious nulls = %d, want 1", semi.Stats.Nulls)
+	}
+	if obl.Stats.Nulls != 2 {
+		t.Fatalf("oblivious nulls = %d, want 2", obl.Stats.Nulls)
+	}
+	if semi.Instance.Len() >= obl.Instance.Len() {
+		t.Fatalf("oblivious result must be larger: %d vs %d", semi.Instance.Len(), obl.Instance.Len())
+	}
+}
+
+// Restricted chase terminates where the semi-oblivious does not: R(b,b)
+// already satisfies the head for every trigger.
+func TestRestrictedTerminatesWhereSemiDoesNot(t *testing.T) {
+	dbSrc := `r(a, b). r(b, b).`
+	rules := `r(X, Y) -> ∃Z r(Y, Z).`
+	restricted := run(t, dbSrc, rules, Options{Variant: Restricted, MaxAtoms: 100})
+	semi := run(t, dbSrc, rules, Options{Variant: SemiOblivious, MaxAtoms: 100})
+	if !restricted.Terminated {
+		t.Fatal("restricted chase must terminate")
+	}
+	if restricted.Instance.Len() != 2 {
+		t.Fatalf("restricted |chase| = %d, want 2", restricted.Instance.Len())
+	}
+	if semi.Terminated {
+		t.Fatal("semi-oblivious chase must not terminate here")
+	}
+}
+
+// Null depth follows Definition 4.3 along a chain.
+func TestDepthTracking(t *testing.T) {
+	res := run(t, `r(a, b).`, `r(X, Y) -> ∃Z r(Y, Z).`, Options{MaxAtoms: 20})
+	// Atom k in the chain has depth k: R(a,b) -> R(b,⊥1) (depth 1) -> ...
+	maxDepth := 0
+	for _, a := range res.Instance.Atoms() {
+		if d := a.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != res.MaxDepth() {
+		t.Fatalf("stats depth %d != instance depth %d", res.MaxDepth(), maxDepth)
+	}
+	if maxDepth < 5 {
+		t.Fatalf("depth must grow along the chain, got %d", maxDepth)
+	}
+}
+
+// Depth per Definition 4.3 is one plus the maximum depth over the frontier
+// (here {V, Y}: depth 2 and 0), not over all body variables.
+func TestDepthUsesFrontierMax(t *testing.T) {
+	res := run(t, `p(a). q(b).`,
+		`p(X) -> ∃U d1(X, U).
+		 d1(X, U) -> ∃V d2(U, V).
+		 d2(U, V), q(Y) -> ∃W out(V, Y, W).`,
+		Options{})
+	if !res.Terminated {
+		t.Fatal("must terminate")
+	}
+	if res.MaxDepth() != 3 {
+		t.Fatalf("max depth = %d, want 3", res.MaxDepth())
+	}
+	// A variant whose last rule keeps only Y in the frontier caps at the
+	// d2 null's depth 2.
+	res2 := run(t, `p(a). q(b).`,
+		`p(X) -> ∃U d1(X, U).
+		 d1(X, U) -> ∃V d2(U, V).
+		 d2(U, V), q(Y) -> ∃W out(Y, W).`,
+		Options{})
+	if res2.MaxDepth() != 2 {
+		t.Fatalf("max depth = %d, want 2 (out-null frontier is {Y})", res2.MaxDepth())
+	}
+}
+
+func TestStats(t *testing.T) {
+	res := run(t, `r(a, b).`, `r(X, Y) -> p(X).`, Options{})
+	s := res.Stats
+	if s.InitialAtoms != 1 || s.Atoms != 2 || s.TriggersFired != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Rounds < 1 {
+		t.Fatalf("rounds = %d", s.Rounds)
+	}
+}
+
+func TestForestTracking(t *testing.T) {
+	db := parser.MustParseDatabase(`r(a, b).`)
+	rules := parser.MustParseRules(`r(X, Y) -> ∃Z r(Y, Z).`)
+	res := Run(db, rules, Options{MaxAtoms: 10, TrackForest: true})
+	if res.Forest == nil {
+		t.Fatal("forest requested but missing")
+	}
+	root := res.Forest.Roots()[0]
+	tree := res.Forest.Tree(root)
+	if len(tree) != res.Instance.Len() {
+		t.Fatalf("single-tree forest: tree has %d atoms, instance %d", len(tree), res.Instance.Len())
+	}
+	sizes := res.Forest.TreeSizesByDepth(root)
+	for d, n := range sizes {
+		if n != 1 {
+			t.Fatalf("chain tree must have one atom per depth, got %v at %d", n, d)
+		}
+	}
+	// Parent chain walks back to the root.
+	last := tree[len(tree)-1]
+	if res.Forest.Root(last) != root {
+		t.Fatal("root lookup failed")
+	}
+}
+
+func TestMaxRoundsBudget(t *testing.T) {
+	res := run(t, `r(a, b).`, `r(X, Y) -> ∃Z r(Y, Z).`, Options{MaxRounds: 3})
+	if res.Terminated {
+		t.Fatal("round budget must stop the run")
+	}
+	if res.Stats.Rounds != 3 {
+		t.Fatalf("rounds = %d", res.Stats.Rounds)
+	}
+}
+
+// A rule whose head is already satisfied must not fire even once under the
+// restricted variant but fires under semi-oblivious (result ⊄ I check).
+func TestSemiObliviousActivity(t *testing.T) {
+	// Head instance already present: result(σ,h) ⊆ I, so nothing changes.
+	res := run(t, `r(a, a). p(a).`, `r(X, X) -> p(X).`, Options{})
+	if !res.Terminated || res.Instance.Len() != 2 {
+		t.Fatalf("no growth expected, got %d atoms", res.Instance.Len())
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	// Constants are allowed in rule bodies and heads and match exactly.
+	res := run(t, `r(a, b). r(c, d).`, `r(a, Y) -> mark(Y).`, Options{})
+	if !res.Instance.Has(logic.MakeAtom("mark", logic.Constant("b"))) {
+		t.Fatal("mark(b) missing")
+	}
+	if res.Instance.Has(logic.MakeAtom("mark", logic.Constant("d"))) {
+		t.Fatal("mark(d) must not be derived")
+	}
+}

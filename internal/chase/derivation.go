@@ -1,0 +1,105 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Step records one trigger application of a chase derivation: the TGD,
+// the frontier restriction h|fr(σ) of the homomorphism, and the atoms the
+// application contributed.
+type Step struct {
+	TGD      *tgds.TGD
+	Frontier logic.Substitution
+	Produced []*logic.Atom
+}
+
+// String renders the step.
+func (s Step) String() string {
+	return fmt.Sprintf("apply σ%d with %v: +%d atoms", s.TGD.ID, s.Frontier, len(s.Produced))
+}
+
+// Derivation is the ordered sequence of trigger applications of a run,
+// recorded when Options.RecordDerivation is set.
+type Derivation struct {
+	Initial *logic.Instance
+	Steps   []Step
+}
+
+// Validate checks that the derivation is a valid chase derivation of its
+// initial instance w.r.t. sigma in the sense of Definition 3.2:
+//
+//   - every step's frontier assignment extends to a homomorphism from the
+//     TGD's body into the instance constructed so far,
+//   - every step contributes exactly the absent part of result(σ, h)
+//     (with canonical semi-oblivious nulls),
+//   - if final is non-nil, the replayed instance has the same cardinality
+//     and shape as final, and
+//   - if terminated is true, no active trigger remains (the finite case
+//     of the definition: the result must satisfy Σ).
+func (d *Derivation) Validate(sigma *tgds.Set, final *logic.Instance, terminated bool) error {
+	inst := d.Initial.Clone()
+	nulls := logic.NewNullFactory()
+	resultOf := func(t *tgds.TGD, h logic.Substitution) []*logic.Atom {
+		mu := h.Clone()
+		for _, z := range t.Existential() {
+			key := fmt.Sprintf("%d\x02%s", t.ID, z)
+			depth := 1
+			for _, x := range t.Frontier() {
+				if dd := logic.TermDepth(mu[x]); dd+1 > depth {
+					depth = dd + 1
+				}
+				key += "\x01" + mu[x].Key()
+			}
+			n, _ := nulls.Intern(key, depth)
+			mu[z] = n
+		}
+		out := make([]*logic.Atom, len(t.Head))
+		for i, ha := range t.Head {
+			out[i] = mu.ApplyAtom(ha)
+		}
+		return out
+	}
+	for i, step := range d.Steps {
+		if logic.ExtendOne(step.TGD.Body, inst, step.Frontier) == nil {
+			return fmt.Errorf("chase: step %d: frontier %v does not extend to a body homomorphism", i, step.Frontier)
+		}
+		added := 0
+		for _, a := range resultOf(step.TGD, step.Frontier) {
+			if inst.Add(a) {
+				added++
+			}
+		}
+		if added != len(step.Produced) {
+			return fmt.Errorf("chase: step %d: replay added %d atoms, step recorded %d", i, added, len(step.Produced))
+		}
+	}
+	if final != nil && inst.Len() != final.Len() {
+		return fmt.Errorf("chase: replay yields %d atoms, final has %d", inst.Len(), final.Len())
+	}
+	if terminated {
+		// No active trigger may remain: for every homomorphism of every
+		// body, the canonical result must already be present. The replay
+		// factory makes null naming globally consistent, so membership is
+		// exact.
+		for _, t := range sigma.TGDs {
+			t := t
+			var active error
+			logic.MatchAll(t.Body, inst, -1, func(h logic.Substitution) bool {
+				for _, a := range resultOf(t, h.Restrict(t.Frontier())) {
+					if !inst.Has(a) {
+						active = fmt.Errorf("chase: active trigger remains: σ%d with %v misses %v", t.ID, h, a)
+						return false
+					}
+				}
+				return true
+			})
+			if active != nil {
+				return active
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package chase
+
+import "repro/internal/logic"
+
+// Forest is the guarded chase forest gforest(δ) of Section 5: a forest of
+// directed trees rooted at the database atoms, where the parent of an atom
+// produced by a trigger (σ, h) is h(guard(σ)). It supports the gtree and
+// gtree_i measurements of Lemma 5.1.
+type Forest struct {
+	roots  []*logic.Atom
+	parent map[string]*logic.Atom // child key -> parent atom
+	atoms  map[string]*logic.Atom // child key -> child atom
+}
+
+func newForest(roots []*logic.Atom) *Forest {
+	f := &Forest{
+		parent: make(map[string]*logic.Atom),
+		atoms:  make(map[string]*logic.Atom),
+	}
+	f.roots = append(f.roots, roots...)
+	return f
+}
+
+func (f *Forest) setParent(child, parent *logic.Atom) {
+	if parent == nil {
+		return
+	}
+	if _, ok := f.parent[child.Key()]; !ok {
+		f.parent[child.Key()] = parent
+		f.atoms[child.Key()] = child
+	}
+}
+
+// Roots returns the database atoms (tree roots).
+func (f *Forest) Roots() []*logic.Atom { return f.roots }
+
+// Parent returns the parent of the atom in the forest, or nil for roots.
+func (f *Forest) Parent(a *logic.Atom) *logic.Atom { return f.parent[a.Key()] }
+
+// Root returns the root of the tree containing the atom.
+func (f *Forest) Root(a *logic.Atom) *logic.Atom {
+	for {
+		p := f.parent[a.Key()]
+		if p == nil {
+			return a
+		}
+		a = p
+	}
+}
+
+// Tree returns the atoms of gtree(δ, root), including the root itself.
+func (f *Forest) Tree(root *logic.Atom) []*logic.Atom {
+	idx := f.childIndex()
+	var out []*logic.Atom
+	stack := []*logic.Atom{root}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, a)
+		stack = append(stack, idx[a.Key()]...)
+	}
+	return out
+}
+
+// TreeSizesByDepth returns, for the tree rooted at root, the number of
+// atoms |gtree_i(δ, root)| at each atom depth i (slice index = depth).
+func (f *Forest) TreeSizesByDepth(root *logic.Atom) []int {
+	var sizes []int
+	for _, a := range f.Tree(root) {
+		d := a.Depth()
+		for len(sizes) <= d {
+			sizes = append(sizes, 0)
+		}
+		sizes[d]++
+	}
+	return sizes
+}
+
+func (f *Forest) childIndex() map[string][]*logic.Atom {
+	idx := make(map[string][]*logic.Atom, len(f.parent))
+	for key, child := range f.atoms {
+		p := f.parent[key]
+		idx[p.Key()] = append(idx[p.Key()], child)
+	}
+	return idx
+}

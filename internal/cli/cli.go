@@ -1,0 +1,50 @@
+// Package cli holds the input-loading logic shared by the command-line
+// tools: programs are either a single combined file (facts + rules) or a
+// separate database file and rules file.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+// LoadInput reads the database and rule set for a tool invocation. When
+// program is non-empty it takes precedence and may mix facts and rules;
+// otherwise both dataPath and rulesPath must be provided.
+func LoadInput(dataPath, rulesPath, program string) (*logic.Instance, *tgds.Set, error) {
+	if program != "" {
+		src, err := os.ReadFile(program)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		return prog.Database, prog.Rules, nil
+	}
+	if dataPath == "" || rulesPath == "" {
+		return nil, nil, fmt.Errorf("provide -program, or both -data and -rules")
+	}
+	dataSrc, err := os.ReadFile(dataPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := parser.ParseDatabase(string(dataSrc))
+	if err != nil {
+		return nil, nil, err
+	}
+	rulesSrc, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	rules, err := parser.ParseRules(string(rulesSrc))
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, rules, nil
+}

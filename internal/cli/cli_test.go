@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCombinedProgram(t *testing.T) {
+	path := write(t, "prog.dlgp", `
+		r(a, b).
+		r(X, Y) -> ∃Z r(Y, Z).
+	`)
+	db, rules, err := LoadInput("", "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 || rules.Len() != 1 {
+		t.Fatalf("db=%d rules=%d", db.Len(), rules.Len())
+	}
+}
+
+func TestLoadSplitFiles(t *testing.T) {
+	data := write(t, "db.dlgp", `r(a, b).`)
+	rules := write(t, "rules.dlgp", `r(X, Y) -> p(X).`)
+	db, set, err := LoadInput(data, rules, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 || set.Len() != 1 {
+		t.Fatalf("db=%d rules=%d", db.Len(), set.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := LoadInput("", "", ""); err == nil || !strings.Contains(err.Error(), "provide") {
+		t.Fatalf("missing-input error expected, got %v", err)
+	}
+	if _, _, err := LoadInput("", "", "/nonexistent/prog"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	data := write(t, "db.dlgp", `r(a, b). r(X,Y) -> p(X).`)
+	rules := write(t, "rules.dlgp", `r(X, Y) -> p(X).`)
+	if _, _, err := LoadInput(data, rules, ""); err == nil {
+		t.Fatal("rules in the data file must be rejected")
+	}
+	badRules := write(t, "bad.dlgp", `r(a, b).`)
+	if _, _, err := LoadInput(write(t, "d.dlgp", `r(a,b).`), badRules, ""); err == nil {
+		t.Fatal("facts in the rules file must be rejected")
+	}
+}

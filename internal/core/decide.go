@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/depgraph"
+	"repro/internal/guarded"
+	"repro/internal/logic"
+	"repro/internal/simplify"
+	"repro/internal/tgds"
+)
+
+// Outcome is the answer of a termination decision.
+type Outcome int
+
+const (
+	// Finite: chase(D, Σ) is finite (Σ ∈ CT_D).
+	Finite Outcome = iota
+	// Infinite: chase(D, Σ) is infinite (Σ ∉ CT_D).
+	Infinite
+	// Unknown: the (budgeted) procedure could not decide.
+	Unknown
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Finite:
+		return "finite"
+	case Infinite:
+		return "infinite"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is the result of a ChTrm decision, with the class and method
+// used and a human-readable certificate for negative answers.
+type Verdict struct {
+	Outcome     Outcome
+	Class       tgds.Class
+	Method      string
+	Certificate string
+}
+
+func (v *Verdict) String() string {
+	s := fmt.Sprintf("%v [%v, %s]", v.Outcome, v.Class, v.Method)
+	if v.Certificate != "" {
+		s += ": " + v.Certificate
+	}
+	return s
+}
+
+// DecideSL decides ChTrm(SL) by Theorem 6.4: Σ ∈ CT_D iff Σ is
+// D-weakly-acyclic. It errors when Σ is not simple linear.
+func DecideSL(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	if c := sigma.Classify(); c != tgds.ClassSL {
+		return nil, fmt.Errorf("core: DecideSL requires simple linear TGDs, got class %v", c)
+	}
+	ok, cert := depgraph.IsWeaklyAcyclicFor(db, sigma)
+	v := &Verdict{Class: tgds.ClassSL, Method: "D-weak-acyclicity"}
+	if ok {
+		v.Outcome = Finite
+	} else {
+		v.Outcome = Infinite
+		v.Certificate = cert.String()
+	}
+	return v, nil
+}
+
+// DecideL decides ChTrm(L) by Theorem 7.5: Σ ∈ CT_D iff simple(Σ) is
+// simple(D)-weakly-acyclic. It errors when Σ is not linear.
+func DecideL(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	if c := sigma.Classify(); c > tgds.ClassL {
+		return nil, fmt.Errorf("core: DecideL requires linear TGDs, got class %v", c)
+	}
+	sSigma, err := simplify.Set(sigma)
+	if err != nil {
+		return nil, err
+	}
+	sDB := simplify.Database(db)
+	ok, cert := depgraph.IsWeaklyAcyclicFor(sDB, sSigma)
+	v := &Verdict{Class: tgds.ClassL, Method: "simplification + D-weak-acyclicity"}
+	if ok {
+		v.Outcome = Finite
+	} else {
+		v.Outcome = Infinite
+		v.Certificate = cert.String()
+	}
+	return v, nil
+}
+
+// DecideG decides ChTrm(G) by Theorem 8.3: Σ ∈ CT_D iff gsimple(Σ) is
+// gsimple(D)-weakly-acyclic. It errors when Σ is not guarded.
+func DecideG(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	if c := sigma.Classify(); c > tgds.ClassG {
+		return nil, fmt.Errorf("core: DecideG requires guarded TGDs, got class %v", c)
+	}
+	gsDB, gsSigma, err := guarded.GSimple(db, sigma)
+	if err != nil {
+		return nil, err
+	}
+	ok, cert := depgraph.IsWeaklyAcyclicFor(gsDB, gsSigma)
+	v := &Verdict{Class: tgds.ClassG, Method: "linearization + simplification + D-weak-acyclicity"}
+	if ok {
+		v.Outcome = Finite
+	} else {
+		v.Outcome = Infinite
+		v.Certificate = cert.String()
+	}
+	return v, nil
+}
+
+// Decide dispatches on the most restrictive class of Σ. For arbitrary
+// (unguarded) sets, for which the problem is undecidable (Section 3 /
+// [13]), it returns an error; use DecideNaiveWithBudget for a best-effort
+// semi-decision.
+func Decide(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	switch sigma.Classify() {
+	case tgds.ClassSL:
+		return DecideSL(db, sigma)
+	case tgds.ClassL:
+		return DecideL(db, sigma)
+	case tgds.ClassG:
+		return DecideG(db, sigma)
+	default:
+		return nil, fmt.Errorf("core: ChTrm is undecidable for arbitrary TGDs; no decision procedure applies")
+	}
+}
+
+// DecideNaive runs the paper's naive procedure (Section 3): materialize
+// the chase and compare against the bound |D|·f_C(Σ) from item (2) of the
+// characterizations. The practical atom cap bounds memory; when the exact
+// bound exceeds the cap the procedure may return Unknown.
+func DecideNaive(db *logic.Instance, sigma *tgds.Set, atomCap int) (*Verdict, error) {
+	class := sigma.Classify()
+	if class == tgds.ClassTGD {
+		return nil, fmt.Errorf("core: the naive procedure needs a size bound, unavailable for arbitrary TGDs")
+	}
+	b := SizeBound(sigma, class)
+	budget, exact := NaiveBudget(db.Len(), b, atomCap)
+	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget})
+	v := &Verdict{Class: class, Method: "naive chase materialization"}
+	switch {
+	case res.Terminated:
+		v.Outcome = Finite
+		v.Certificate = fmt.Sprintf("chase materialized with %d atoms", res.Instance.Len())
+	case exact:
+		v.Outcome = Infinite
+		v.Certificate = fmt.Sprintf("chase exceeded the bound |D|·f_C(Σ) = %d", budget)
+	default:
+		v.Outcome = Unknown
+		v.Certificate = fmt.Sprintf("chase exceeded the practical cap %d below the bound", budget)
+	}
+	return v, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/families"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+func TestPredictDepthSLBasic(t *testing.T) {
+	sigma := parser.MustParseRules(`
+		a(X) -> ∃Y b(X, Y).
+		b(X, Y) -> ∃Z c(Y, Z).
+	`)
+	db := parser.MustParseDatabase(`a(k).`)
+	got, err := PredictDepthSL(db, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("predicted depth = %d, want 2", got)
+	}
+	res := chase.Run(db, sigma, chase.Options{})
+	if res.MaxDepth() > got {
+		t.Fatalf("actual depth %d exceeds prediction %d", res.MaxDepth(), got)
+	}
+	// Non-D-weakly-acyclic input errors.
+	cyc := parser.MustParseRules(`r(X, Y) -> ∃Z r(Y, Z).`)
+	if _, err := PredictDepthSL(parser.MustParseDatabase(`r(a, b).`), cyc); err == nil {
+		t.Fatal("infinite rank must be reported")
+	}
+}
+
+// Claim C.1 of the proof of Lemma 6.2, observable form: on random
+// terminating SL inputs, the chase's maxdepth is bounded by the supported
+// rank bound, which is bounded by d_SL(Σ).
+func TestPredictDepthSLProperty(t *testing.T) {
+	cfg := families.RandomConfig{Predicates: 3, MaxArity: 3, Rules: 3, MaxHeadAtoms: 2, ExistentialProb: 0.4}
+	rng := rand.New(rand.NewSource(103))
+	checked := 0
+	for trial := 0; trial < 150; trial++ {
+		sigma := families.RandomSimpleLinear(rng, cfg)
+		if sigma.Len() == 0 || sigma.Classify() != tgds.ClassSL {
+			continue
+		}
+		db := families.RandomDatabase(rng, sigma, 3, 2)
+		if db.Len() == 0 {
+			continue
+		}
+		predicted, err := PredictDepthSL(db, sigma)
+		if err != nil {
+			continue // not D-weakly-acyclic
+		}
+		checked++
+		res := chase.Run(db, sigma, chase.Options{MaxAtoms: 5000})
+		if !res.Terminated {
+			t.Fatalf("D-weakly-acyclic input must terminate\nsigma:\n%v\ndb: %v", sigma, db)
+		}
+		if res.MaxDepth() > predicted {
+			t.Fatalf("maxdepth %d > predicted %d\nsigma:\n%v\ndb: %v", res.MaxDepth(), predicted, sigma, db)
+		}
+		d := DepthBound(sigma, tgds.ClassSL)
+		if d.IsInt64() && int64(predicted) > d.Int64()+1 {
+			t.Fatalf("predicted %d > d_SL + 1 = %v", predicted, d.Int64()+1)
+		}
+	}
+	if checked < 40 {
+		t.Fatalf("only %d cases checked", checked)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/guarded"
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// EntailsAtom decides propositional/ground atom entailment for guarded
+// sets: does the ground atom α (over constants of D) belong to
+// chase(D, Σ)? This is the problem PAE(C) of the paper (Section 8), whose
+// data-complexity hardness transfers to ChTrm(G) via the looping
+// operator. Entailment is decided through the completion engine — every
+// chase atom over dom(D) is in complete(D, Σ) — so it terminates even
+// when the chase is infinite.
+func EntailsAtom(db *logic.Instance, sigma *tgds.Set, alpha *logic.Atom) (bool, error) {
+	if c := sigma.Classify(); c > tgds.ClassG {
+		return false, fmt.Errorf("core: EntailsAtom requires guarded TGDs, got class %v", c)
+	}
+	if !alpha.IsFact() {
+		return false, fmt.Errorf("core: EntailsAtom requires a ground atom over constants, got %v", alpha)
+	}
+	completed, err := guarded.Complete(db, sigma)
+	if err != nil {
+		return false, err
+	}
+	return completed.Has(alpha), nil
+}

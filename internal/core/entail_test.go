@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/families"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+func TestEntailsAtomBasic(t *testing.T) {
+	sigma := parser.MustParseRules(`
+		e(X, Y) -> ∃Z e(Y, Z).
+		e(X, Y) -> p(X).
+	`)
+	db := parser.MustParseDatabase(`e(a, b).`)
+	// p(b) is only derivable through the null atom e(b,⊥); the chase is
+	// infinite, yet entailment is decided.
+	got, err := EntailsAtom(db, sigma, logic.MakeAtom("p", logic.Constant("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("p(b) must be entailed")
+	}
+	got, err = EntailsAtom(db, sigma, logic.MakeAtom("p", logic.Constant("zzz")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("p(zzz) must not be entailed")
+	}
+}
+
+func TestEntailsAtomZeroArity(t *testing.T) {
+	// Propositional atoms (arity 0), as in the PAE problem of Section 8.
+	sigma := parser.MustParseRules(`
+		start(X) -> ∃Y step(X, Y).
+		step(X, Y) -> done().
+	`)
+	db := parser.MustParseDatabase(`start(a).`)
+	got, err := EntailsAtom(db, sigma, logic.MakeAtom("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("done() must be entailed")
+	}
+	got, err = EntailsAtom(db, sigma, logic.MakeAtom("never"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("never() must not be entailed")
+	}
+}
+
+func TestEntailsAtomValidation(t *testing.T) {
+	unguarded := parser.MustParseRules(`r(X, Y), r(Y, Z) -> r(X, Z).`)
+	db := parser.MustParseDatabase(`r(a, b).`)
+	if _, err := EntailsAtom(db, unguarded, logic.MakeAtom("r", logic.Constant("a"), logic.Constant("b"))); err == nil {
+		t.Fatal("unguarded sets must be rejected")
+	}
+	guardedSet := parser.MustParseRules(`r(X, Y) -> p(X).`)
+	if _, err := EntailsAtom(db, guardedSet, logic.MakeAtom("p", logic.Variable("X"))); err == nil {
+		t.Fatal("non-ground atoms must be rejected")
+	}
+}
+
+// Entailment agrees with the chase on terminating random inputs.
+func TestEntailsAtomAgreesWithChase(t *testing.T) {
+	cfg := families.RandomConfig{
+		Predicates: 3, MaxArity: 2, Rules: 2, MaxHeadAtoms: 2,
+		ExistentialProb: 0.4, RepeatProb: 0.2, SideAtoms: 1,
+	}
+	rng := rand.New(rand.NewSource(83))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 25; trial++ {
+		sigma := families.RandomGuarded(rng, cfg)
+		if sigma.Len() == 0 || sigma.Classify() == tgds.ClassTGD {
+			continue
+		}
+		db := families.RandomDatabase(rng, sigma, 3, 2)
+		if db.Len() == 0 {
+			continue
+		}
+		res := chase.Run(db, sigma, chase.Options{MaxAtoms: 2000})
+		if !res.Terminated {
+			continue
+		}
+		checked++
+		// Probe: every schema predicate over every constant combination
+		// of a small sample.
+		consts := []logic.Term{logic.Constant("k0"), logic.Constant("k1")}
+		for _, p := range sigma.Schema() {
+			if p.Arity > 2 {
+				continue
+			}
+			var combos [][]logic.Term
+			switch p.Arity {
+			case 0:
+				combos = [][]logic.Term{{}}
+			case 1:
+				for _, c := range consts {
+					combos = append(combos, []logic.Term{c})
+				}
+			case 2:
+				for _, c1 := range consts {
+					for _, c2 := range consts {
+						combos = append(combos, []logic.Term{c1, c2})
+					}
+				}
+			}
+			for _, combo := range combos {
+				atom := logic.NewAtom(p, combo...)
+				got, err := EntailsAtom(db, sigma, atom)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != res.Instance.Has(atom) {
+					t.Fatalf("entailment(%v) = %v, chase has = %v\nsigma:\n%v\ndb: %v",
+						atom, got, res.Instance.Has(atom), sigma, db)
+				}
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d cases checked", checked)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/depgraph"
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Uniform chase termination: does the chase terminate for EVERY database?
+// For the semi-oblivious chase this reduces to the non-uniform problem on
+// the critical instance (all atoms formable from sch(Σ) over a single
+// fresh constant, plus any constants mentioned by Σ): the chase of any
+// database maps into the chase of the critical instance, so termination
+// on the critical instance implies termination everywhere (Marnette,
+// PODS 2009; the paper inherits its hardness results through the same
+// database, Sections 6–8).
+
+// CriticalInstance returns the critical database of Σ: for every
+// predicate of sch(Σ), all atoms over the single constant "crit" and the
+// constants occurring in Σ.
+func CriticalInstance(sigma *tgds.Set) *logic.Instance {
+	consts := []logic.Term{logic.Constant("crit")}
+	seen := map[logic.Term]bool{consts[0]: true}
+	for _, t := range sigma.TGDs {
+		for _, atoms := range [][]*logic.Atom{t.Body, t.Head} {
+			for _, a := range atoms {
+				for _, term := range a.Args {
+					if c, ok := term.(logic.Constant); ok && !seen[c] {
+						seen[c] = true
+						consts = append(consts, c)
+					}
+				}
+			}
+		}
+	}
+	db := logic.NewInstance()
+	for _, p := range sigma.Schema() {
+		args := make([]logic.Term, p.Arity)
+		var fill func(i int)
+		fill = func(i int) {
+			if i == p.Arity {
+				db.Add(logic.NewAtom(p, append([]logic.Term{}, args...)...))
+				return
+			}
+			for _, c := range consts {
+				args[i] = c
+				fill(i + 1)
+			}
+		}
+		fill(0)
+	}
+	return db
+}
+
+// DecideUniform decides whether Σ ∈ CT (the chase terminates on every
+// database) by deciding the non-uniform problem on the critical instance.
+// It supports the same classes as Decide.
+func DecideUniform(sigma *tgds.Set) (*Verdict, error) {
+	v, err := Decide(CriticalInstance(sigma), sigma)
+	if err != nil {
+		return nil, err
+	}
+	v.Method = "critical instance + " + v.Method
+	return v, nil
+}
+
+// IsUniformlyWeaklyAcyclic reports classical weak-acyclicity of Σ, which
+// characterizes uniform semi-oblivious chase termination for simple
+// linear TGDs ([8]); for arbitrary TGDs it is a sufficient condition
+// (Fagin et al.). The certificate is nil when acyclic.
+func IsUniformlyWeaklyAcyclic(sigma *tgds.Set) (bool, *depgraph.Certificate) {
+	return depgraph.IsWeaklyAcyclic(sigma)
+}
+
+// UniformEquivalenceSL verifies, for a simple linear Σ, that the two
+// routes to uniform termination agree: classical weak-acyclicity iff
+// D-weak-acyclicity on the critical instance. It returns an error on
+// disagreement (used by tests; the equivalence is a theorem).
+func UniformEquivalenceSL(sigma *tgds.Set) error {
+	if c := sigma.Classify(); c != tgds.ClassSL {
+		return fmt.Errorf("core: UniformEquivalenceSL requires SL, got %v", c)
+	}
+	wa, _ := depgraph.IsWeaklyAcyclic(sigma)
+	v, err := DecideSL(CriticalInstance(sigma), sigma)
+	if err != nil {
+		return err
+	}
+	if wa != (v.Outcome == Finite) {
+		return fmt.Errorf("core: weak-acyclicity (%v) disagrees with critical-instance decision (%v)", wa, v.Outcome)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/families"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+// CheckWA (the paper's Algorithm 1, determinized) must agree with the
+// SCC-based IsWeaklyAcyclicFor on random SL inputs.
+func TestCheckWAAgreesWithSCC(t *testing.T) {
+	cfg := families.RandomConfig{Predicates: 3, MaxArity: 3, Rules: 3, MaxHeadAtoms: 2, ExistentialProb: 0.4}
+	rng := rand.New(rand.NewSource(101))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		sigma := families.RandomSimpleLinear(rng, cfg)
+		if sigma.Len() == 0 || sigma.Classify() != tgds.ClassSL {
+			continue
+		}
+		db := families.RandomDatabase(rng, sigma, 3, 2)
+		notWA := CheckWA(db, sigma)
+		wa, _ := IsWeaklyAcyclicFor(db, sigma)
+		if notWA == wa {
+			t.Fatalf("CheckWA = %v, IsWeaklyAcyclicFor = %v\nsigma:\n%v\ndb: %v", notWA, wa, sigma, db)
+		}
+		checked++
+	}
+	if checked < 80 {
+		t.Fatalf("only %d cases checked", checked)
+	}
+}
+
+func TestCheckWAExamples(t *testing.T) {
+	sigma := parser.MustParseRules(`r(X, Y) -> ∃Z r(Y, Z).`)
+	if !CheckWA(parser.MustParseDatabase(`r(a, b).`), sigma) {
+		t.Fatal("supported special cycle must be detected")
+	}
+	if CheckWA(parser.MustParseDatabase(`s(a).`), sigma) {
+		t.Fatal("unsupported cycle must be ignored")
+	}
+}
+
+func TestSupportedRanks(t *testing.T) {
+	sigma := parser.MustParseRules(`
+		a(X) -> ∃Y b(X, Y).
+		b(X, Y) -> ∃Z c(Y, Z).
+		unrelated(X) -> ∃W deep(X, W).
+	`)
+	db := parser.MustParseDatabase(`a(k).`)
+	ranks, maxFinite := SupportedRanks(db, sigma)
+	if maxFinite != 2 {
+		t.Fatalf("max finite supported rank = %d, want 2", maxFinite)
+	}
+	// The unrelated branch is not supported and must be absent.
+	for pos := range ranks {
+		if pos.Pred.Name == "unrelated" || pos.Pred.Name == "deep" {
+			t.Fatalf("unsupported position %v reported", pos)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package depgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dot writes the dependency graph in GraphViz dot format. Special edges
+// are drawn dashed and labeled "*"; nodes are predicate positions. The
+// optional highlight set (by position string) draws nodes in red —
+// callers typically highlight a violation certificate's cycle.
+func (g *Graph) Dot(w io.Writer, name string, highlight map[string]bool) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", name)
+	for _, n := range g.Nodes {
+		attrs := ""
+		if highlight[n.String()] {
+			attrs = `, color=red, fontcolor=red`
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", n.String(), n.String(), attrs)
+	}
+	for _, e := range g.Edges {
+		if e.Special {
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed, label=\"*\"];\n", e.From.String(), e.To.String())
+		} else {
+			fmt.Fprintf(&b, "  %q -> %q;\n", e.From.String(), e.To.String())
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,30 @@
+package depgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestDotExport(t *testing.T) {
+	sigma := parser.MustParseRules(`r(X, Y) -> ∃Z r(Y, Z).`)
+	g := Build(sigma)
+	var buf bytes.Buffer
+	if err := g.Dot(&buf, "dg", map[string]bool{"(r,2)": true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph",
+		`"(r,1)"`,
+		`"(r,2)"`,
+		"style=dashed", // the special edge
+		"color=red",    // the highlighted node
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config tunes experiment sweeps. Quick mode shrinks parameters so that
+// the full registry runs in seconds (used by tests and benchmarks); the
+// default mode reproduces the numbers recorded in EXPERIMENTS.md.
+type Config struct {
+	Quick bool
+}
+
+// Experiment couples an identifier with a runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(Config) (*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by identifier.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given identifier.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try 'all')", id)
+}

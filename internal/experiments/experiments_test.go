@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run in quick mode, render, and emit
+// CSV without errors.
+func TestAllExperimentsQuick(t *testing.T) {
+	all := All()
+	if len(all) < 14 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	for _, e := range all {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			table.ID = e.ID
+			if len(table.Columns) == 0 || len(table.Rows) == 0 {
+				t.Fatalf("experiment %s produced an empty table", e.ID)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("row width %d != %d columns", len(row), len(table.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatal("rendering must include the experiment id")
+			}
+			buf.Reset()
+			if err := table.CSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if lines := strings.Count(buf.String(), "\n"); lines != len(table.Rows)+1 {
+				t.Fatalf("CSV has %d lines, want %d", lines, len(table.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("XP-NOPE"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+	e, err := Get("XP-DEPTH")
+	if err != nil || e.ID != "XP-DEPTH" {
+		t.Fatalf("Get = %v, %v", e, err)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	table := &Table{Columns: []string{"a,b", "c"}}
+	table.AddRow(`x"y`, "plain")
+	var buf bytes.Buffer
+	if err := table.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "\"a,b\",c\n\"x\"\"y\",plain\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableNotes(t *testing.T) {
+	table := &Table{ID: "X", Title: "t", Columns: []string{"c"}}
+	table.AddRow(1)
+	table.Note("hello %d", 7)
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hello 7") {
+		t.Fatal("note missing from rendering")
+	}
+}

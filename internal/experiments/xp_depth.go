@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/families"
+	"repro/internal/tgds"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "XP-DEPTH",
+		Title: "chase depth grows with the database (Proposition 4.5)",
+		Claim: "maxdepth(D_n, Σ) = n−1 although Σ ∈ CT_{D_n}; Σ ∉ CT",
+		Run:   runDepthGrowth,
+	})
+	register(Experiment{
+		ID:    "XP-DEPTH-BOUND",
+		Title: "database-independent depth bounds (Lemmas 6.2, 7.4, 8.2)",
+		Claim: "Σ ∈ CT_D implies maxdepth(D, Σ) ≤ d_C(Σ)",
+		Run:   runDepthBound,
+	})
+	register(Experiment{
+		ID:    "XP-GTREE",
+		Title: "guarded chase tree widths (Lemma 5.1)",
+		Claim: "|gtree_i(δ, α)| ≤ ‖Σ‖^(2·ar(Σ)·(i+1))",
+		Run:   runGTree,
+	})
+}
+
+func runDepthGrowth(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"n", "|D_n|", "|chase|", "maxdepth", "expected n−1", "finite"},
+	}
+	ns := []int{2, 4, 8, 16, 32, 64, 128}
+	if cfg.Quick {
+		ns = []int{2, 4, 8}
+	}
+	for _, n := range ns {
+		w := families.Prop45(n)
+		res := chase.Run(w.Database, w.Sigma, chase.Options{MaxAtoms: 200000})
+		t.AddRow(n, w.Database.Len(), res.Instance.Len(), res.MaxDepth(), n-1, res.Terminated)
+	}
+	w := families.Prop45(2)
+	diag := chase.Run(families.Prop45Infinite(), w.Sigma, chase.Options{MaxAtoms: 2000})
+	t.Note("diagonal database {P(a,a,a), R(a,a)}: terminated=%v after %d atoms (Σ ∉ CT)",
+		diag.Terminated, diag.Instance.Len())
+	return t, nil
+}
+
+func runDepthBound(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"class", "trials(finite)", "max observed maxdepth", "min d_C(Σ)", "violations"},
+	}
+	trials := 120
+	if cfg.Quick {
+		trials = 25
+	}
+	type gen struct {
+		class tgds.Class
+		make  func(*rand.Rand) *tgds.Set
+	}
+	rcfg := families.RandomConfig{
+		Predicates: 3, MaxArity: 2, Rules: 2, MaxHeadAtoms: 2,
+		ExistentialProb: 0.45, RepeatProb: 0.3, SideAtoms: 1,
+	}
+	gens := []gen{
+		{tgds.ClassSL, func(r *rand.Rand) *tgds.Set { return families.RandomSimpleLinear(r, rcfg) }},
+		{tgds.ClassL, func(r *rand.Rand) *tgds.Set { return families.RandomLinear(r, rcfg) }},
+		{tgds.ClassG, func(r *rand.Rand) *tgds.Set { return families.RandomGuarded(r, rcfg) }},
+	}
+	for _, g := range gens {
+		rng := rand.New(rand.NewSource(41))
+		finite, violations, maxObserved := 0, 0, 0
+		minBound := -1
+		for trial := 0; trial < trials; trial++ {
+			sigma := g.make(rng)
+			if sigma.Len() == 0 || sigma.Classify() > g.class {
+				continue
+			}
+			db := families.RandomDatabase(rng, sigma, 3, 2)
+			res := chase.Run(db, sigma, chase.Options{MaxAtoms: 2000})
+			if !res.Terminated {
+				continue
+			}
+			finite++
+			if res.MaxDepth() > maxObserved {
+				maxObserved = res.MaxDepth()
+			}
+			d := core.DepthBound(sigma, g.class)
+			if d.IsInt64() {
+				if minBound < 0 || int(d.Int64()) < minBound {
+					minBound = int(d.Int64())
+				}
+				if int64(res.MaxDepth()) > d.Int64() {
+					violations++
+				}
+			}
+		}
+		t.AddRow(g.class, finite, maxObserved, minBound, violations)
+	}
+	return t, nil
+}
+
+func runGTree(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"workload", "depth i", "max |gtree_i|", "bound ‖Σ‖^(2·ar·(i+1))"},
+	}
+	workloads := []families.Workload{
+		families.GLower(1, 1, 1),
+		families.SLLower(1, 2, 2),
+	}
+	for _, w := range workloads {
+		res := chase.Run(w.Database, w.Sigma, chase.Options{MaxAtoms: 100000, TrackForest: true})
+		if !res.Terminated {
+			t.Note("%s: budget exceeded, skipping", w.Name)
+			continue
+		}
+		// Per depth, the widest gtree level over all roots.
+		maxSizes := []int{}
+		for _, root := range res.Forest.Roots() {
+			sizes := res.Forest.TreeSizesByDepth(root)
+			for d, nAtoms := range sizes {
+				for len(maxSizes) <= d {
+					maxSizes = append(maxSizes, 0)
+				}
+				if nAtoms > maxSizes[d] {
+					maxSizes[d] = nAtoms
+				}
+			}
+		}
+		norm := float64(w.Sigma.Norm())
+		ar := float64(w.Sigma.Arity())
+		for d, width := range maxSizes {
+			bound := pow(norm, 2*ar*(float64(d)+1))
+			t.AddRow(w.Name, d, width, formatApprox(bound))
+		}
+	}
+	return t, nil
+}
+
+func pow(base, exp float64) float64 {
+	out := 1.0
+	for i := 0; i < int(exp); i++ {
+		out *= base
+		if out > 1e300 {
+			return out
+		}
+	}
+	return out
+}

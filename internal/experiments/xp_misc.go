@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"repro/internal/chase"
+	"repro/internal/families"
+	"repro/internal/tm"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "XP-TM",
+		Title: "undecidability reduction (Appendix A / Proposition 4.2)",
+		Claim: "M halts on the empty input iff chase(D_M, Σ★) is finite",
+		Run:   runTuring,
+	})
+	register(Experiment{
+		ID:    "XP-ENGINES",
+		Title: "chase-variant comparison (Section 1 context, [6])",
+		Claim: "restricted ⊆ semi-oblivious ⊆ oblivious in result size; termination may differ",
+		Run:   runEngines,
+	})
+}
+
+func runTuring(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"machine", "direct sim halts", "sim steps", "chase atoms", "chase finite"},
+	}
+	machines := []*tm.Machine{
+		tm.HaltImmediately(),
+		tm.WriteAndHalt(1),
+		tm.WriteAndHalt(2),
+		tm.WriteAndHalt(3),
+		tm.BounceAndHalt(2),
+		tm.LoopForever(),
+		tm.RightForever(),
+	}
+	if cfg.Quick {
+		machines = machines[:4]
+	}
+	sigma := tm.FixedSigma()
+	for _, m := range machines {
+		halted, steps := m.Run(1000)
+		budget := 300000
+		if !halted {
+			budget = 20000
+		}
+		res := chase.Run(m.Database(), sigma, chase.Options{MaxAtoms: budget})
+		t.AddRow(m.Name, halted, steps, res.Instance.Len(), res.Terminated)
+	}
+	t.Note("Σ★ is fixed (machine-independent): only the database encodes M, so even data complexity is undecidable")
+	return t, nil
+}
+
+func runEngines(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"workload", "variant", "|result|", "nulls", "finite"},
+	}
+	workloads := []struct {
+		name  string
+		db    string
+		rules string
+	}{
+		{"satisfied-head", `r(a, b). r(b, b).`, `r(X, Y) -> ∃Z r(Y, Z).`},
+		{"shared-frontier", `r(a, b). r(a, c). r(a, d).`, `r(X, Y) -> ∃Z s(X, Z).`},
+		{"dag-closure", `e(a, b). e(b, c). e(c, d).`, `e(X, Y) -> ∃Z m(Y, Z). m(X, Z) -> p(X).`},
+	}
+	variants := []chase.Variant{chase.Restricted, chase.SemiOblivious, chase.Oblivious}
+	for _, w := range workloads {
+		db := mustDB(w.db)
+		rules := mustRules(w.rules)
+		for _, v := range variants {
+			res := chase.Run(db, rules, chase.Options{Variant: v, MaxAtoms: 2000})
+			t.AddRow(w.name, v, res.Instance.Len(), res.Stats.Nulls, res.Terminated)
+		}
+	}
+	for _, fam := range []families.Workload{families.SLLower(1, 2, 2), families.GLower(1, 1, 1)} {
+		for _, v := range variants {
+			res := chase.Run(fam.Database, fam.Sigma, chase.Options{Variant: v, MaxAtoms: 200000})
+			t.AddRow(fam.Name, v, res.Instance.Len(), res.Stats.Nulls, res.Terminated)
+		}
+	}
+	return t, nil
+}

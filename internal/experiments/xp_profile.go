@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"repro/internal/chase"
+	"repro/internal/families"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "XP-PROFILE",
+		Title: "atoms per term depth across the lower-bound families (Section 5 shape)",
+		Claim: "per-depth growth is geometric in the families; total depth obeys d_C(Σ)",
+		Run:   runProfile,
+	})
+}
+
+func runProfile(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"workload", "depth", "atoms", "cumulative"},
+	}
+	workloads := []families.Workload{
+		families.SLLower(1, 2, 2),
+		families.LLower(1, 2, 2),
+		families.GLower(1, 1, 1),
+	}
+	if cfg.Quick {
+		workloads = workloads[:2]
+	}
+	for _, w := range workloads {
+		res := chase.Run(w.Database, w.Sigma, chase.Options{MaxAtoms: 2000000})
+		if !res.Terminated {
+			t.Note("%s: budget exceeded", w.Name)
+			continue
+		}
+		var byDepth []int
+		for _, a := range res.Instance.Atoms() {
+			d := a.Depth()
+			for len(byDepth) <= d {
+				byDepth = append(byDepth, 0)
+			}
+			byDepth[d]++
+		}
+		cum := 0
+		for d, n := range byDepth {
+			cum += n
+			t.AddRow(w.Name, d, n, cum)
+		}
+		t.Note("%s: maxdepth %d, %d atoms total", w.Name, res.MaxDepth(), res.Instance.Len())
+	}
+	return t, nil
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/chase"
+	"repro/internal/depgraph"
+	"repro/internal/families"
+	"repro/internal/guarded"
+	"repro/internal/simplify"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "XP-SIMPLIFY",
+		Title: "simplification preserves finiteness and depth (Proposition 7.3)",
+		Claim: "Σ ∈ CT_D iff simple(Σ) ∈ CT_{simple(D)}; maxdepth preserved",
+		Run:   runSimplifyPreservation,
+	})
+	register(Experiment{
+		ID:    "XP-LINEARIZE",
+		Title: "linearization preserves finiteness and depth (Proposition 8.1)",
+		Claim: "Σ ∈ CT_D iff lin(Σ) ∈ CT_{lin(D)}; maxdepth preserved",
+		Run:   runLinearizePreservation,
+	})
+	register(Experiment{
+		ID:    "XP-UNIFORM",
+		Title: "uniform vs non-uniform termination (Section 4)",
+		Claim: "Σ ∉ CT does not preclude Σ ∈ CT_D; non-uniform analysis is strictly finer",
+		Run:   runUniformVsNonUniform,
+	})
+}
+
+func runSimplifyPreservation(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"trials", "finite both", "infinite both", "finiteness mismatches", "depth mismatches", "size inflated"},
+	}
+	trials := 200
+	if cfg.Quick {
+		trials = 40
+	}
+	rcfg := families.RandomConfig{
+		Predicates: 3, MaxArity: 3, Rules: 3, MaxHeadAtoms: 2,
+		ExistentialProb: 0.4, RepeatProb: 0.5,
+	}
+	rng := rand.New(rand.NewSource(53))
+	const budget = 1500
+	var finite, infinite, mismatchFin, mismatchDepth, inflated, ran int
+	for trial := 0; trial < trials; trial++ {
+		sigma := families.RandomLinear(rng, rcfg)
+		if sigma.Len() == 0 {
+			continue
+		}
+		db := families.RandomDatabase(rng, sigma, 3, 2)
+		if db.Len() == 0 {
+			continue
+		}
+		sSigma, err := simplify.Set(sigma)
+		if err != nil {
+			return nil, err
+		}
+		sDB := simplify.Database(db)
+		orig := chase.Run(db, sigma, chase.Options{MaxAtoms: budget})
+		simp := chase.Run(sDB, sSigma, chase.Options{MaxAtoms: budget})
+		ran++
+		if orig.Terminated != simp.Terminated {
+			mismatchFin++
+			continue
+		}
+		if orig.Terminated {
+			finite++
+			if orig.MaxDepth() != simp.MaxDepth() {
+				mismatchDepth++
+			}
+			if simp.Instance.Len() > orig.Instance.Len() {
+				inflated++
+			}
+		} else {
+			infinite++
+		}
+	}
+	t.AddRow(ran, finite, infinite, mismatchFin, mismatchDepth, inflated)
+	t.Note("size inflation is expected occasionally: the ES classes of Lemma E.6 partition, they are not a bijection")
+	return t, nil
+}
+
+func runLinearizePreservation(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"trials", "finite both", "infinite both", "finiteness mismatches", "depth mismatches", "size inflated"},
+	}
+	trials := 120
+	if cfg.Quick {
+		trials = 25
+	}
+	rcfg := families.RandomConfig{
+		Predicates: 3, MaxArity: 2, Rules: 2, MaxHeadAtoms: 2,
+		ExistentialProb: 0.45, RepeatProb: 0.2, SideAtoms: 1,
+	}
+	rng := rand.New(rand.NewSource(59))
+	const budget = 1500
+	var finite, infinite, mismatchFin, mismatchDepth, inflated, ran int
+	for trial := 0; trial < trials; trial++ {
+		sigma := families.RandomGuarded(rng, rcfg)
+		if sigma.Len() == 0 {
+			continue
+		}
+		db := families.RandomDatabase(rng, sigma, 2, 2)
+		if db.Len() == 0 {
+			continue
+		}
+		l, err := guarded.NewLinearizer(sigma)
+		if err != nil {
+			continue
+		}
+		linDB, linSigma, err := l.Linearize(db)
+		if err != nil {
+			return nil, err
+		}
+		orig := chase.Run(db, sigma, chase.Options{MaxAtoms: budget})
+		lin := chase.Run(linDB, linSigma, chase.Options{MaxAtoms: budget})
+		ran++
+		if orig.Terminated != lin.Terminated {
+			mismatchFin++
+			continue
+		}
+		if orig.Terminated {
+			finite++
+			if orig.MaxDepth() != lin.MaxDepth() {
+				mismatchDepth++
+			}
+			if lin.Instance.Len() > orig.Instance.Len() {
+				inflated++
+			}
+		} else {
+			infinite++
+		}
+	}
+	t.AddRow(ran, finite, infinite, mismatchFin, mismatchDepth, inflated)
+	t.Note("size inflation is expected occasionally: the EL classes of Lemma E.14 partition, they are not a bijection")
+	return t, nil
+}
+
+func runUniformVsNonUniform(cfg Config) (*Table, error) {
+	t := &Table{
+		Columns: []string{"workload", "uniform WA", "non-uniform WA (D-supported)", "chase finite"},
+	}
+	// The Prop 4.5 ontology is not weakly acyclic (uniformly infinite on
+	// some database) yet terminates on every D_n. It is not SL/L/G, so the
+	// syntactic non-uniform test does not apply; the SL example below
+	// shows the full contrast.
+	ns := []int{4, 16}
+	for _, n := range ns {
+		w := families.Prop45(n)
+		uok, _ := depgraph.IsWeaklyAcyclic(w.Sigma)
+		res := chase.Run(w.Database, w.Sigma, chase.Options{MaxAtoms: 100000})
+		t.AddRow(w.Name, uok, "n/a (not SL)", res.Terminated)
+	}
+	// SL contrast: Σ = {P(x) -> ∃Y R(x,Y), R(x,y) -> ∃Z R(y,Z)}: uniformly
+	// non-terminating, but terminating on databases that cannot reach R.
+	sigma := mustRules(`
+		p(X) -> ∃Y r(X, Y).
+		r(X, Y) -> ∃Z r(Y, Z).
+		q(X) -> q2(X).
+	`)
+	for _, dbSrc := range []string{`q(a).`, `p(a).`, `r(a, b).`} {
+		db := mustDB(dbSrc)
+		uok, _ := depgraph.IsWeaklyAcyclic(sigma)
+		nok, _ := depgraph.IsWeaklyAcyclicFor(db, sigma)
+		res := chase.Run(db, sigma, chase.Options{MaxAtoms: 2000})
+		t.AddRow("sl-cascade on "+dbSrc, uok, nok, res.Terminated)
+	}
+	// Random SL statistics: how often does the non-uniform test accept
+	// although the uniform one rejects?
+	trials := 300
+	if cfg.Quick {
+		trials = 60
+	}
+	rcfg := families.RandomConfig{
+		Predicates: 3, MaxArity: 3, Rules: 3, MaxHeadAtoms: 2, ExistentialProb: 0.4,
+	}
+	rng := rand.New(rand.NewSource(61))
+	var uniformInfinite, rescued int
+	for trial := 0; trial < trials; trial++ {
+		sigma := families.RandomSimpleLinear(rng, rcfg)
+		if sigma.Len() == 0 {
+			continue
+		}
+		db := families.RandomDatabase(rng, sigma, 2, 2)
+		if uok, _ := depgraph.IsWeaklyAcyclic(sigma); !uok {
+			uniformInfinite++
+			if nok, _ := depgraph.IsWeaklyAcyclicFor(db, sigma); nok {
+				rescued++
+			}
+		}
+	}
+	t.Note("random SL (%d trials): %d uniformly non-terminating, of which %d terminate on the drawn database (%.0f%%)",
+		trials, uniformInfinite, rescued, 100*float64(rescued)/float64(maxInt(uniformInfinite, 1)))
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package families constructs the databases and TGD sets used by the
+// paper's lower-bound theorems and illustrative propositions, plus random
+// ontology generators for property-based testing:
+//
+//   - Prop45: the family of Proposition 4.5 whose chase depth grows with
+//     the database although each chase is finite.
+//   - SLLower: the simple linear family of Theorem 6.5 with
+//     |chase(D_ℓ, Σ_{n,m})| ≥ ℓ·m^(n·m).
+//   - LLower: the linear family of Theorem 7.6 with
+//     |chase(D_ℓ, Σ_{n,m})| ≥ ℓ·2^(n·(2^m−1)).
+//   - GLower: the guarded family of Theorem 8.4 with
+//     |chase(D_ℓ, Σ_{n,m})| ≥ ℓ·2^(2^n·(2^(2^m)−1)).
+//   - CriticalDatabase: the all-atoms-over-one-constant database used by
+//     the hardness results inherited from [8].
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Workload couples a database and a TGD set with provenance metadata.
+type Workload struct {
+	Name     string
+	Database *logic.Instance
+	Sigma    *tgds.Set
+}
+
+func v(name string, i ...int) logic.Variable {
+	s := name
+	for _, n := range i {
+		s += fmt.Sprintf("_%d", n)
+	}
+	return logic.Variable(s)
+}
+
+func c(name string, i int) logic.Constant {
+	return logic.Constant(fmt.Sprintf("%s%d", name, i))
+}
+
+// Prop45 builds the family of Proposition 4.5 for a given n > 1:
+//
+//	D_n = { P(a1,b,b), R(a1,a2), ..., R(a(n-1),an) }
+//	Σ   = { R(x,y), P(x,z,v) → ∃w P(y,w,z) }
+//
+// Σ ∈ CT_{D_n} with maxdepth(D_n, Σ) = n−1, although Σ ∉ CT (uniformly).
+func Prop45(n int) Workload {
+	if n < 2 {
+		n = 2
+	}
+	db := logic.NewInstance()
+	db.Add(logic.MakeAtom("P", c("a", 1), logic.Constant("b"), logic.Constant("b")))
+	for i := 1; i < n; i++ {
+		db.Add(logic.MakeAtom("R", c("a", i), c("a", i+1)))
+	}
+	x, y, z, vv, w := v("X"), v("Y"), v("Z"), v("V"), v("W")
+	rule := tgds.MustNew(
+		[]*logic.Atom{logic.MakeAtom("R", x, y), logic.MakeAtom("P", x, z, vv)},
+		[]*logic.Atom{logic.MakeAtom("P", y, w, z)},
+	)
+	return Workload{
+		Name:     fmt.Sprintf("prop4.5(n=%d)", n),
+		Database: db,
+		Sigma:    tgds.NewSet(rule),
+	}
+}
+
+// Prop45Infinite returns the database {P(a,a,a), R(a,a)} on which the
+// Proposition 4.5 ontology has an infinite chase (showing Σ ∉ CT).
+func Prop45Infinite() *logic.Instance {
+	a := logic.Constant("a")
+	return logic.NewDatabase(
+		logic.MakeAtom("P", a, a, a),
+		logic.MakeAtom("R", a, a),
+	)
+}
+
+// SLDatabase returns D_ℓ = { P0(c1), ..., P0(cℓ) } of Theorems 6.5/7.6.
+func SLDatabase(l int) *logic.Instance {
+	db := logic.NewInstance()
+	for i := 1; i <= l; i++ {
+		db.Add(logic.MakeAtom("P0", c("c", i)))
+	}
+	return db
+}
+
+// SLLower builds Σ_{n,m} of Theorem 6.5 (simple linear) together with
+// D_ℓ. The chase contains at least ℓ·m^(n·m) atoms; it is finite for all
+// parameters.
+//
+//	Σ_start: P0(x) → ∃y1..ym P0(x), R1(y1,...,ym)
+//	Σ∀_i (j ∈ [m]): Ri(x1,..,xj,..,xm) → Ri(xj,x2,..,x(j-1),x1,x(j+1),..,xm)
+//	                Ri(x1,..,xj,..,xm) → Ri(xj,x2,..,xj,..,xm)
+//	Σ∃_i: Ri(x1..xm) → ∃z1..zm Ri(x1..xm), R(i+1)(z1..zm)
+func SLLower(l, n, m int) Workload {
+	set := tgds.NewSet()
+	// Σ_start.
+	x := v("X")
+	ys := make([]logic.Term, m)
+	for j := 0; j < m; j++ {
+		ys[j] = v("Y", j+1)
+	}
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{logic.MakeAtom("P0", x)},
+		[]*logic.Atom{logic.MakeAtom("P0", x), logic.MakeAtom(rName(1), ys...)},
+	))
+	for i := 1; i <= n; i++ {
+		// Σ∀_i: for each j, a swap rule and a copy-onto-first rule.
+		for j := 1; j <= m; j++ {
+			xs := make([]logic.Term, m)
+			for k := 0; k < m; k++ {
+				xs[k] = v("X", i, j, k+1)
+			}
+			if j > 1 {
+				// Swap positions 1 and j.
+				swapped := make([]logic.Term, m)
+				copy(swapped, xs)
+				swapped[0], swapped[j-1] = xs[j-1], xs[0]
+				set.Add(tgds.MustNew(
+					[]*logic.Atom{logic.MakeAtom(rName(i), xs...)},
+					[]*logic.Atom{logic.MakeAtom(rName(i), swapped...)},
+				))
+				// Overwrite position 1 with the value at position j.
+				over := make([]logic.Term, m)
+				copy(over, xs)
+				over[0] = xs[j-1]
+				set.Add(tgds.MustNew(
+					[]*logic.Atom{logic.MakeAtom(rName(i), xs...)},
+					[]*logic.Atom{logic.MakeAtom(rName(i), over...)},
+				))
+			}
+		}
+		// Σ∃_i.
+		if i < n {
+			xs := make([]logic.Term, m)
+			zs := make([]logic.Term, m)
+			for k := 0; k < m; k++ {
+				xs[k] = v("X", i, 0, k+1)
+				zs[k] = v("Z", i, k+1)
+			}
+			set.Add(tgds.MustNew(
+				[]*logic.Atom{logic.MakeAtom(rName(i), xs...)},
+				[]*logic.Atom{logic.MakeAtom(rName(i), xs...), logic.MakeAtom(rName(i+1), zs...)},
+			))
+		}
+	}
+	return Workload{
+		Name:     fmt.Sprintf("thm6.5(ℓ=%d,n=%d,m=%d)", l, n, m),
+		Database: SLDatabase(l),
+		Sigma:    set,
+	}
+}
+
+func rName(i int) string { return fmt.Sprintf("R%d", i) }
+
+// LLower builds Σ_{n,m} of Theorem 7.6 (linear, non-simple) together with
+// D_ℓ. The chase contains at least ℓ·2^(n·(2^m−1)) atoms via perfect
+// binary trees of height 2^m−1 per level; it is finite for all parameters.
+//
+// Predicate Ri has arity m+3; writing y^k for k repetitions:
+//
+//	Σ_start:      P0(x) → ∃y∃z P0(x), R1(y^m, y, z, y)
+//	Σ∀_i (j ∈ {0..m−1}):
+//	  Ri(x1..x(m−j−1), y, z^j, y, z, u) →
+//	    ∃v∃w Ri(x1..x(m−j−1), y, z^j, y, z, u),
+//	         Ri(x1..x(m−j−1), z, y^j, y, z, v),
+//	         Ri(x1..x(m−j−1), z, y^j, y, z, w)
+//	Σ∃_i:         Ri(x^m, y, x, z) → ∃v∃w Ri(x^m, y, x, z), R(i+1)(v^m, v, w, v)
+func LLower(l, n, m int) Workload {
+	set := tgds.NewSet()
+	x, y, z := v("X"), v("Y"), v("Z")
+	// Σ_start.
+	head1 := make([]logic.Term, m+3)
+	for k := 0; k < m; k++ {
+		head1[k] = y
+	}
+	head1[m], head1[m+1], head1[m+2] = y, z, y
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{logic.MakeAtom("P0", x)},
+		[]*logic.Atom{logic.MakeAtom("P0", x), logic.MakeAtom(rName(1), head1...)},
+	))
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m-1; j++ {
+			yy, zz, u := v("Y", i, j), v("Z", i, j), v("U", i, j)
+			vv, ww := v("V", i, j), v("W", i, j)
+			xs := make([]logic.Term, m-j-1)
+			for k := range xs {
+				xs[k] = v("X", i, j, k+1)
+			}
+			mk := func(bit, last logic.Term, flipped bool) *logic.Atom {
+				args := make([]logic.Term, 0, m+3)
+				args = append(args, xs...)
+				if !flipped {
+					args = append(args, yy)
+					for k := 0; k < j; k++ {
+						args = append(args, zz)
+					}
+				} else {
+					args = append(args, zz)
+					for k := 0; k < j; k++ {
+						args = append(args, yy)
+					}
+				}
+				args = append(args, yy, zz, last)
+				_ = bit
+				return logic.MakeAtom(rName(i), args...)
+			}
+			body := mk(nil, u, false)
+			set.Add(tgds.MustNew(
+				[]*logic.Atom{body},
+				[]*logic.Atom{body, mk(nil, vv, true), mk(nil, ww, true)},
+			))
+		}
+		if i < n {
+			xx, yy, zz := v("X", i), v("Y", i), v("Z", i)
+			vv, ww := v("V", i), v("W", i)
+			body := make([]logic.Term, 0, m+3)
+			for k := 0; k < m; k++ {
+				body = append(body, xx)
+			}
+			body = append(body, yy, xx, zz)
+			head := make([]logic.Term, 0, m+3)
+			for k := 0; k < m; k++ {
+				head = append(head, vv)
+			}
+			head = append(head, vv, ww, vv)
+			bAtom := logic.MakeAtom(rName(i), body...)
+			set.Add(tgds.MustNew(
+				[]*logic.Atom{bAtom},
+				[]*logic.Atom{bAtom, logic.MakeAtom(rName(i+1), head...)},
+			))
+		}
+	}
+	return Workload{
+		Name:     fmt.Sprintf("thm7.6(ℓ=%d,n=%d,m=%d)", l, n, m),
+		Database: SLDatabase(l),
+		Sigma:    set,
+	}
+}
+
+// CriticalDatabase returns the database used by the hardness results
+// inherited from [8]: all atoms formable from the schema of Σ over a
+// single constant.
+func CriticalDatabase(sigma *tgds.Set) *logic.Instance {
+	db := logic.NewInstance()
+	cc := logic.Constant("crit")
+	for _, p := range sigma.Schema() {
+		args := make([]logic.Term, p.Arity)
+		for i := range args {
+			args[i] = cc
+		}
+		db.Add(logic.NewAtom(p, args...))
+	}
+	return db
+}

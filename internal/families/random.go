@@ -1,0 +1,182 @@
+package families
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// RandomConfig controls the random ontology generators.
+type RandomConfig struct {
+	// Predicates is the number of predicates in the schema.
+	Predicates int
+	// MaxArity bounds predicate arities (min 1).
+	MaxArity int
+	// Rules is the number of TGDs to generate.
+	Rules int
+	// MaxHeadAtoms bounds the number of head atoms per TGD (min 1).
+	MaxHeadAtoms int
+	// ExistentialProb is the probability that a head position carries an
+	// existential variable rather than a frontier variable.
+	ExistentialProb float64
+	// RepeatProb is the probability that a body position repeats an
+	// earlier variable (making linear TGDs non-simple); ignored for SL.
+	RepeatProb float64
+	// SideAtoms bounds extra (non-guard) body atoms for guarded TGDs.
+	SideAtoms int
+}
+
+// DefaultRandomConfig returns a small configuration suitable for property
+// tests.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Predicates:      3,
+		MaxArity:        3,
+		Rules:           3,
+		MaxHeadAtoms:    2,
+		ExistentialProb: 0.4,
+		RepeatProb:      0.3,
+		SideAtoms:       1,
+	}
+}
+
+type randomSchema struct {
+	preds []logic.Predicate
+}
+
+func newRandomSchema(rng *rand.Rand, cfg RandomConfig) *randomSchema {
+	s := &randomSchema{}
+	for i := 0; i < cfg.Predicates; i++ {
+		s.preds = append(s.preds, logic.Predicate{
+			Name:  fmt.Sprintf("p%d", i),
+			Arity: 1 + rng.Intn(cfg.MaxArity),
+		})
+	}
+	return s
+}
+
+func (s *randomSchema) pick(rng *rand.Rand) logic.Predicate {
+	return s.preds[rng.Intn(len(s.preds))]
+}
+
+// RandomSimpleLinear generates a random set of simple linear TGDs.
+func RandomSimpleLinear(rng *rand.Rand, cfg RandomConfig) *tgds.Set {
+	cfg.RepeatProb = 0
+	return randomLinear(rng, cfg)
+}
+
+// RandomLinear generates a random set of linear TGDs (bodies may repeat
+// variables).
+func RandomLinear(rng *rand.Rand, cfg RandomConfig) *tgds.Set {
+	return randomLinear(rng, cfg)
+}
+
+func randomLinear(rng *rand.Rand, cfg RandomConfig) *tgds.Set {
+	schema := newRandomSchema(rng, cfg)
+	set := tgds.NewSet()
+	for r := 0; r < cfg.Rules; r++ {
+		bp := schema.pick(rng)
+		bodyArgs := make([]logic.Term, bp.Arity)
+		var vars []logic.Variable
+		for i := range bodyArgs {
+			if len(vars) > 0 && rng.Float64() < cfg.RepeatProb {
+				bodyArgs[i] = vars[rng.Intn(len(vars))]
+			} else {
+				v := logic.Variable(fmt.Sprintf("X%d_%d", r, i))
+				vars = append(vars, v)
+				bodyArgs[i] = v
+			}
+		}
+		body := []*logic.Atom{logic.NewAtom(bp, bodyArgs...)}
+		head := randomHead(rng, cfg, schema, r, vars)
+		if t, err := tgds.New(body, head); err == nil {
+			set.Add(t)
+		}
+	}
+	return set
+}
+
+// RandomGuarded generates a random set of guarded TGDs: each body has a
+// guard atom over its variables plus up to SideAtoms atoms over subsets of
+// the guard variables.
+func RandomGuarded(rng *rand.Rand, cfg RandomConfig) *tgds.Set {
+	schema := newRandomSchema(rng, cfg)
+	set := tgds.NewSet()
+	for r := 0; r < cfg.Rules; r++ {
+		gp := schema.pick(rng)
+		guardArgs := make([]logic.Term, gp.Arity)
+		var vars []logic.Variable
+		for i := range guardArgs {
+			if len(vars) > 0 && rng.Float64() < cfg.RepeatProb {
+				guardArgs[i] = vars[rng.Intn(len(vars))]
+			} else {
+				v := logic.Variable(fmt.Sprintf("X%d_%d", r, i))
+				vars = append(vars, v)
+				guardArgs[i] = v
+			}
+		}
+		body := []*logic.Atom{logic.NewAtom(gp, guardArgs...)}
+		for s := 0; s < cfg.SideAtoms; s++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			sp := schema.pick(rng)
+			args := make([]logic.Term, sp.Arity)
+			for i := range args {
+				args[i] = vars[rng.Intn(len(vars))]
+			}
+			body = append(body, logic.NewAtom(sp, args...))
+		}
+		head := randomHead(rng, cfg, schema, r, vars)
+		if t, err := tgds.New(body, head); err == nil && t.IsGuarded() {
+			set.Add(t)
+		}
+	}
+	return set
+}
+
+func randomHead(rng *rand.Rand, cfg RandomConfig, schema *randomSchema, r int, frontier []logic.Variable) []*logic.Atom {
+	nHead := 1 + rng.Intn(cfg.MaxHeadAtoms)
+	var head []*logic.Atom
+	var existing []logic.Variable
+	for hIdx := 0; hIdx < nHead; hIdx++ {
+		hp := schema.pick(rng)
+		args := make([]logic.Term, hp.Arity)
+		for i := range args {
+			if rng.Float64() < cfg.ExistentialProb {
+				if len(existing) > 0 && rng.Float64() < 0.5 {
+					args[i] = existing[rng.Intn(len(existing))]
+				} else {
+					z := logic.Variable(fmt.Sprintf("Z%d_%d_%d", r, hIdx, i))
+					existing = append(existing, z)
+					args[i] = z
+				}
+			} else {
+				args[i] = frontier[rng.Intn(len(frontier))]
+			}
+		}
+		head = append(head, logic.NewAtom(hp, args...))
+	}
+	return head
+}
+
+// RandomDatabase generates a database over the schema of Σ with the given
+// number of facts drawn over a pool of constants.
+func RandomDatabase(rng *rand.Rand, sigma *tgds.Set, facts, constants int) *logic.Instance {
+	preds := sigma.Schema()
+	db := logic.NewInstance()
+	if len(preds) == 0 || constants <= 0 {
+		return db
+	}
+	for i := 0; i < facts; i++ {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]logic.Term, p.Arity)
+		for j := range args {
+			args[j] = logic.Constant(fmt.Sprintf("k%d", rng.Intn(constants)))
+		}
+		db.Add(logic.NewAtom(p, args...))
+	}
+	return db
+}

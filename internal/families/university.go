@@ -1,0 +1,83 @@
+package families
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+// University builds an OBDA-style workload in the spirit of the paper's
+// introduction: an incomplete university database and a guarded ontology
+// that completes it with existential knowledge (every student has an
+// advisor, every professor teaches some course, every course belongs to a
+// department). The ontology terminates on every database — the knowledge
+// flows student → advisor → professor → course → department without
+// cycling back — so materialization-based query answering applies.
+//
+// scale controls the database size (scale departments, 2·scale
+// professors, 8·scale students, with randomized enrollment).
+func University(scale int, seed int64) Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sigma := universityOntology()
+	db := logic.NewInstance()
+	cst := func(kind string, i int) logic.Constant {
+		return logic.Constant(fmt.Sprintf("%s%d", kind, i))
+	}
+	nDept := scale
+	nProf := 2 * scale
+	nCourse := 3 * scale
+	nStudent := 8 * scale
+	for d := 0; d < nDept; d++ {
+		db.Add(logic.MakeAtom("dept", cst("d", d)))
+	}
+	for c := 0; c < nCourse; c++ {
+		db.Add(logic.MakeAtom("course", cst("c", c), cst("d", rng.Intn(nDept))))
+	}
+	for p := 0; p < nProf; p++ {
+		// Half of the professors have a recorded course; the ontology
+		// invents one for the rest.
+		if rng.Intn(2) == 0 {
+			db.Add(logic.MakeAtom("teaches", cst("p", p), cst("c", rng.Intn(nCourse))))
+		} else {
+			db.Add(logic.MakeAtom("prof", cst("p", p)))
+		}
+	}
+	for s := 0; s < nStudent; s++ {
+		// Students enroll in 1–3 courses; a third have a recorded advisor.
+		k := 1 + rng.Intn(3)
+		for e := 0; e < k; e++ {
+			db.Add(logic.MakeAtom("enrolled", cst("s", s), cst("c", rng.Intn(nCourse))))
+		}
+		if rng.Intn(3) == 0 {
+			db.Add(logic.MakeAtom("advisor", cst("s", s), cst("p", rng.Intn(nProf))))
+		}
+	}
+	return Workload{
+		Name:     fmt.Sprintf("university(scale=%d)", scale),
+		Database: db,
+		Sigma:    sigma,
+	}
+}
+
+func universityOntology() *tgds.Set {
+	return parser.MustParseRules(`
+		% Participation facts imply membership.
+		enrolled(S, C) -> student(S).
+		teaches(P, C) -> prof(P).
+		advisor(S, P) -> student(S).
+		advisor(S, P) -> prof(P).
+		course(C, D) -> dept(D).
+
+		% Existential knowledge: the incomplete part of the database.
+		student(S) -> ∃P advisor(S, P).
+		prof(P) -> ∃C teaches(P, C).
+		teaches(P, C) -> ∃D course(C, D).
+		enrolled(S, C) -> ∃D course(C, D).
+	`)
+}

@@ -1,0 +1,238 @@
+package guarded
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Engine computes completions for a fixed guarded TGD set. It memoizes
+// canonical type closures across calls, so repeated completions (as in
+// linearization) share work.
+type Engine struct {
+	sigma  *tgds.Set
+	states map[string]*state
+	order  []*state
+	fresh  int // placeholder counter
+}
+
+// state is the memoized closure of a canonical type: the atoms over the
+// type's guard domain known to be in the chase.
+type state struct {
+	typ   *Type
+	atoms *logic.Instance
+}
+
+// NewEngine validates that every TGD of sigma is guarded and returns an
+// engine.
+func NewEngine(sigma *tgds.Set) (*Engine, error) {
+	for _, t := range sigma.TGDs {
+		if !t.IsGuarded() {
+			return nil, fmt.Errorf("guarded: TGD %v is not guarded", t)
+		}
+	}
+	return &Engine{sigma: sigma, states: make(map[string]*state)}, nil
+}
+
+func (e *Engine) getState(t *Type) *state {
+	if s, ok := e.states[t.Key()]; ok {
+		return s
+	}
+	s := &state{typ: t, atoms: logic.NewInstance()}
+	for _, a := range t.Atoms {
+		s.atoms.Add(a)
+	}
+	e.states[t.Key()] = s
+	e.order = append(e.order, s)
+	return s
+}
+
+func (e *Engine) nextPlaceholder() placeholder {
+	e.fresh++
+	return placeholder(e.fresh)
+}
+
+// stabilize runs the global fixpoint: every state is expanded until no
+// state's atom set grows. New states created during a pass are processed
+// within the same pass.
+func (e *Engine) stabilize() {
+	for {
+		changed := false
+		for i := 0; i < len(e.order); i++ {
+			if e.expandState(e.order[i]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// expandState performs one derivation pass over a state and reports
+// whether its closure grew.
+func (e *Engine) expandState(s *state) bool {
+	additions := e.deriveOver(s.atoms, nil)
+	grew := false
+	for _, a := range additions {
+		if s.atoms.Add(a) {
+			grew = true
+		}
+	}
+	return grew
+}
+
+// deriveOver performs one round of derivation over the given atom set
+// (the atoms of a node) and returns the new atoms over the node's own
+// domain. A term belongs to the node's domain iff it is not a placeholder;
+// when keep is non-nil it further restricts which terms count as "own"
+// (used by the top-level completion where the node's domain is dom(I)).
+//
+// Derivations with existential witnesses spawn canonical child nodes whose
+// closures are looked up (and seeded on demand); atoms of a child closure
+// that mention only own terms are lifted back.
+func (e *Engine) deriveOver(atoms *logic.Instance, keep map[string]bool) []*logic.Atom {
+	isOwn := func(t logic.Term) bool {
+		if _, ph := t.(placeholder); ph {
+			return false
+		}
+		if keep != nil {
+			return keep[t.Key()]
+		}
+		return true
+	}
+	ownAtom := func(a *logic.Atom) bool {
+		for _, t := range a.Args {
+			if !isOwn(t) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var additions []*logic.Atom
+	for _, t := range e.sigma.TGDs {
+		t := t
+		logic.MatchAll(t.Body, atoms, -1, func(h logic.Substitution) bool {
+			mu := h.Clone()
+			for _, z := range t.Existential() {
+				mu[z] = e.nextPlaceholder()
+			}
+			heads := make([]*logic.Atom, len(t.Head))
+			for i, ha := range t.Head {
+				heads[i] = mu.ApplyAtom(ha)
+			}
+			for _, ha := range heads {
+				if ownAtom(ha) {
+					if !atoms.Has(ha) {
+						additions = append(additions, ha)
+					}
+					continue
+				}
+				// Child node: known atoms over dom(ha) from the current
+				// node and the sibling head atoms.
+				known := collectOver(atoms, heads, ha)
+				childType, ren := Canonicalize(ha, known)
+				child := e.getState(childType)
+				for _, ca := range child.atoms.Atoms() {
+					orig, ok := ren.InvertAtom(ca)
+					if !ok {
+						continue
+					}
+					if ownAtom(orig) && !atoms.Has(orig) {
+						additions = append(additions, orig)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return additions
+}
+
+// collectOver gathers the atoms of the instance plus the extra atoms whose
+// terms all lie within the guard atom's domain.
+func collectOver(in *logic.Instance, extra []*logic.Atom, guard *logic.Atom) []*logic.Atom {
+	dom := make(map[string]bool, len(guard.Args))
+	for _, t := range guard.Args {
+		dom[t.Key()] = true
+	}
+	within := func(a *logic.Atom) bool {
+		for _, t := range a.Args {
+			if !dom[t.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	var out []*logic.Atom
+	seen := make(map[string]bool)
+	for _, a := range in.Atoms() {
+		if within(a) && !seen[a.Key()] {
+			seen[a.Key()] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range extra {
+		if within(a) && !seen[a.Key()] {
+			seen[a.Key()] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Complete returns complete(I, Σ): every atom of chase(I, Σ) whose terms
+// all occur in dom(I). It works for arbitrary guarded Σ, terminating even
+// when the chase itself is infinite.
+func Complete(in *logic.Instance, sigma *tgds.Set) (*logic.Instance, error) {
+	e, err := NewEngine(sigma)
+	if err != nil {
+		return nil, err
+	}
+	return e.Complete(in), nil
+}
+
+// Complete is the memoizing variant of the package-level Complete.
+func (e *Engine) Complete(in *logic.Instance) *logic.Instance {
+	c := in.Clone()
+	keep := make(map[string]bool)
+	for _, t := range in.ActiveDomain() {
+		keep[t.Key()] = true
+	}
+	for {
+		additions := e.deriveOver(c, keep)
+		// Resolve all pending child closures before judging progress.
+		e.stabilize()
+		grew := false
+		for _, a := range additions {
+			if c.Add(a) {
+				grew = true
+			}
+		}
+		if !grew {
+			// One more derivation pass now that children stabilized: the
+			// lifts may have become available only after stabilization.
+			additions = e.deriveOver(c, keep)
+			for _, a := range additions {
+				if c.Add(a) {
+					grew = true
+				}
+			}
+			if !grew {
+				return c
+			}
+		}
+	}
+}
+
+// TypeOf returns type_{D,Σ}(α): the atoms of chase(D, Σ) that mention only
+// terms of α. The atom must belong to the database.
+func TypeOf(db *logic.Instance, sigma *tgds.Set, a *logic.Atom) ([]*logic.Atom, error) {
+	c, err := Complete(db, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return AtomsOver(c, a), nil
+}

@@ -1,0 +1,226 @@
+// Package guarded implements the type machinery for guarded TGDs used by
+// Section 8 of the paper: Σ-types, the completion complete(I, Σ) (all
+// chase atoms over dom(I), computed without materializing the — possibly
+// infinite — chase), atom types type_{D,Σ}(α), and the linearization
+// lin(D), lin(Σ) that converts guarded sets into linear ones while
+// preserving chase finiteness and term depth (Proposition 8.1).
+//
+// The computation rests on the key property of the guarded chase ("taming
+// the infinite chase"): the atoms derivable below an atom α that mention
+// only dom(α) are determined by the type of α. The engine maintains a
+// global fixpoint over canonical (guard pattern, known atoms) nodes with
+// memoized closures; children lift derived atoms over shared terms back to
+// their parents until stabilization.
+package guarded
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// placeholder is a fresh-term marker used during completion for
+// existential witnesses. Placeholders never leak out of the engine: they
+// are canonicalized away in child nodes and filtered from lifted atoms.
+type placeholder int
+
+// Key implements logic.Term.
+func (p placeholder) Key() string { return "g\x00" + itoa(int(p)) }
+
+func (p placeholder) String() string { return "*" + itoa(int(p)) }
+
+func itoa(n int) string {
+	// strconv.Itoa without the import dance in hot paths.
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Type is a canonical Σ-type: a guard atom whose arguments are the
+// canonical integers 1..k (logic.Fresh, first occurrence order as in the
+// paper: t1 = 1 and ti ≤ max(previous)+1), together with the set of atoms
+// over dom(guard) — including the guard itself — that are known to hold.
+type Type struct {
+	Guard *logic.Atom
+	// Atoms holds the type's atoms (guard included), sorted by key.
+	Atoms []*logic.Atom
+	key   string
+}
+
+// Key returns the canonical identity of the type.
+func (t *Type) Key() string { return t.key }
+
+// Width returns the number of distinct canonical integers of the guard.
+func (t *Type) Width() int {
+	max := 0
+	for _, a := range t.Guard.Args {
+		if f, ok := a.(logic.Fresh); ok && int(f) > max {
+			max = int(f)
+		}
+	}
+	return max
+}
+
+// String renders the type as "R(1,1,2) | {S(2,1), T(1)}".
+func (t *Type) String() string {
+	others := make([]string, 0, len(t.Atoms)-1)
+	for _, a := range t.Atoms {
+		if !a.Equal(t.Guard) {
+			others = append(others, a.String())
+		}
+	}
+	return t.Guard.String() + " | {" + strings.Join(others, ", ") + "}"
+}
+
+func makeType(guard *logic.Atom, atoms []*logic.Atom) *Type {
+	sorted := make([]*logic.Atom, 0, len(atoms)+1)
+	seen := make(map[string]bool, len(atoms)+1)
+	add := func(a *logic.Atom) {
+		if !seen[a.Key()] {
+			seen[a.Key()] = true
+			sorted = append(sorted, a)
+		}
+	}
+	add(guard)
+	for _, a := range atoms {
+		add(a)
+	}
+	logic.SortAtoms(sorted)
+	var b strings.Builder
+	b.WriteString(guard.Key())
+	for _, a := range sorted {
+		b.WriteByte('\x03')
+		b.WriteString(a.Key())
+	}
+	return &Type{Guard: guard, Atoms: sorted, key: b.String()}
+}
+
+// Renaming maps original terms to canonical integers and back.
+type Renaming struct {
+	fwd map[string]logic.Fresh
+	inv map[logic.Fresh]logic.Term
+}
+
+// Forward returns the canonical integer for the term; the boolean reports
+// whether the term is in the renaming's domain.
+func (r *Renaming) Forward(t logic.Term) (logic.Fresh, bool) {
+	f, ok := r.fwd[t.Key()]
+	return f, ok
+}
+
+// Invert maps a canonical integer back to the original term.
+func (r *Renaming) Invert(f logic.Fresh) (logic.Term, bool) {
+	t, ok := r.inv[f]
+	return t, ok
+}
+
+// InvertAtom maps an atom over canonical integers back to original terms.
+// The boolean is false if some integer is outside the renaming (which
+// cannot happen for atoms over the type's domain).
+func (r *Renaming) InvertAtom(a *logic.Atom) (*logic.Atom, bool) {
+	args := make([]logic.Term, len(a.Args))
+	for i, t := range a.Args {
+		f, ok := t.(logic.Fresh)
+		if !ok {
+			return nil, false
+		}
+		orig, ok := r.inv[f]
+		if !ok {
+			return nil, false
+		}
+		args[i] = orig
+	}
+	return logic.NewAtom(a.Pred, args...), true
+}
+
+// Canonicalize builds the canonical type of a guard atom together with the
+// atoms over its domain, returning the type and the renaming used. Atoms
+// containing terms outside dom(guard) are rejected by panicking: call
+// sites filter beforehand.
+func Canonicalize(guard *logic.Atom, atoms []*logic.Atom) (*Type, *Renaming) {
+	r := &Renaming{fwd: make(map[string]logic.Fresh), inv: make(map[logic.Fresh]logic.Term)}
+	next := 1
+	rename := func(t logic.Term) logic.Fresh {
+		if f, ok := r.fwd[t.Key()]; ok {
+			return f
+		}
+		f := logic.Fresh(next)
+		next++
+		r.fwd[t.Key()] = f
+		r.inv[f] = t
+		return f
+	}
+	gargs := make([]logic.Term, len(guard.Args))
+	for i, t := range guard.Args {
+		gargs[i] = rename(t)
+	}
+	cguard := logic.NewAtom(guard.Pred, gargs...)
+	catoms := make([]*logic.Atom, 0, len(atoms))
+	for _, a := range atoms {
+		args := make([]logic.Term, len(a.Args))
+		ok := true
+		for i, t := range a.Args {
+			f, in := r.fwd[t.Key()]
+			if !in {
+				ok = false
+				break
+			}
+			args[i] = f
+		}
+		if !ok {
+			panic("guarded: atom outside guard domain in Canonicalize: " + a.String())
+		}
+		catoms = append(catoms, logic.NewAtom(a.Pred, args...))
+	}
+	return makeType(cguard, catoms), r
+}
+
+// AtomsOver returns the atoms of the instance whose terms all occur in the
+// given atom's domain (the candidate type atoms of α).
+func AtomsOver(in *logic.Instance, guard *logic.Atom) []*logic.Atom {
+	dom := make(map[string]bool)
+	for _, t := range guard.Args {
+		dom[t.Key()] = true
+	}
+	var out []*logic.Atom
+	for _, a := range in.Atoms() {
+		ok := true
+		for _, t := range a.Args {
+			if !dom[t.Key()] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// sortPreds sorts predicates by name then arity (shared helper).
+func sortPreds(ps []logic.Predicate) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Name != ps[j].Name {
+			return ps[i].Name < ps[j].Name
+		}
+		return ps[i].Arity < ps[j].Arity
+	})
+}

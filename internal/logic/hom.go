@@ -1,0 +1,126 @@
+package logic
+
+// Instance-level homomorphisms: a homomorphism from instance A to
+// instance B maps constants to themselves and nulls to arbitrary terms so
+// that every atom of A lands in B. The chase result is a universal model:
+// it maps homomorphically into every model of (D, Σ) — the property that
+// makes it the right tool for certain-answer query answering.
+
+// InstanceHom returns a homomorphism from the atoms of 'from' into 'to'
+// (as a map from null keys to terms), or nil if none exists. Constants
+// and fresh terms must map to themselves.
+//
+// The search is a backtracking join over the atoms of 'from', ordered by
+// connectivity; it is intended for the moderate instance sizes of tests
+// and experiments, not for bulk data.
+func InstanceHom(from, to *Instance) map[string]Term {
+	atoms := append([]*Atom{}, from.Atoms()...)
+	// Order atoms so consecutive atoms share nulls (bounds fan-out).
+	ordered := orderByNullConnectivity(atoms)
+	assign := make(map[string]Term)
+	if homSearch(ordered, 0, to, assign) {
+		return assign
+	}
+	return nil
+}
+
+// HasInstanceHom reports whether 'from' maps homomorphically into 'to'.
+func HasInstanceHom(from, to *Instance) bool {
+	return InstanceHom(from, to) != nil
+}
+
+func orderByNullConnectivity(atoms []*Atom) []*Atom {
+	n := len(atoms)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	out := make([]*Atom, 0, n)
+	const minScore = -1 << 30
+	for len(out) < n {
+		best, bestScore := -1, minScore
+		for i, a := range atoms {
+			if used[i] {
+				continue
+			}
+			score := 0
+			nulls := 0
+			for _, t := range a.Args {
+				if nl, ok := t.(*Null); ok {
+					nulls++
+					if bound[nl.Key()] {
+						score += 2
+					}
+				}
+			}
+			// Prefer atoms whose nulls are already bound, then atoms with
+			// few unbound nulls (ground atoms are pure checks).
+			score -= nulls
+			if score > bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, atoms[best])
+		for _, t := range atoms[best].Args {
+			if nl, ok := t.(*Null); ok {
+				bound[nl.Key()] = true
+			}
+		}
+	}
+	return out
+}
+
+func homSearch(atoms []*Atom, i int, to *Instance, assign map[string]Term) bool {
+	if i == len(atoms) {
+		return true
+	}
+	pattern := atoms[i]
+	// Candidate targets: narrow by any ground or already-assigned position.
+	candidates := to.ByPred(pattern.Pred)
+	for pos, t := range pattern.Args {
+		img, ok := imageOf(t, assign)
+		if !ok {
+			continue
+		}
+		list := to.AtPosition(pattern.Pred, pos, img)
+		if len(list) < len(candidates) {
+			candidates = list
+		}
+	}
+	for _, cand := range candidates {
+		var newly []string
+		ok := true
+		for pos, t := range pattern.Args {
+			target := cand.Args[pos]
+			if img, bound := imageOf(t, assign); bound {
+				if img.Key() != target.Key() {
+					ok = false
+					break
+				}
+				continue
+			}
+			nl := t.(*Null)
+			assign[nl.Key()] = target
+			newly = append(newly, nl.Key())
+		}
+		if ok && homSearch(atoms, i+1, to, assign) {
+			return true
+		}
+		for _, k := range newly {
+			delete(assign, k)
+		}
+	}
+	return false
+}
+
+// imageOf resolves the image of a term under the partial assignment:
+// non-null terms map to themselves; nulls map to their assignment when
+// bound.
+func imageOf(t Term, assign map[string]Term) (Term, bool) {
+	nl, ok := t.(*Null)
+	if !ok {
+		return t, true
+	}
+	img, bound := assign[nl.Key()]
+	return img, bound
+}

@@ -1,0 +1,86 @@
+package logic
+
+import "testing"
+
+func mkNull(f *NullFactory, key string) *Null {
+	n, _ := f.Intern(key, 1)
+	return n
+}
+
+func TestInstanceHomIdentity(t *testing.T) {
+	in := NewDatabase(MakeAtom("r", Constant("a"), Constant("b")))
+	if !HasInstanceHom(in, in) {
+		t.Fatal("identity homomorphism must exist")
+	}
+}
+
+func TestInstanceHomNullCollapse(t *testing.T) {
+	f := NewNullFactory()
+	n1, n2 := mkNull(f, "1"), mkNull(f, "2")
+	from := NewDatabase(
+		MakeAtom("r", Constant("a"), n1),
+		MakeAtom("r", Constant("a"), n2),
+	)
+	to := NewDatabase(MakeAtom("r", Constant("a"), Constant("c")))
+	h := InstanceHom(from, to)
+	if h == nil {
+		t.Fatal("nulls must collapse onto c")
+	}
+	if h[n1.Key()] != Term(Constant("c")) || h[n2.Key()] != Term(Constant("c")) {
+		t.Fatalf("assignment = %v", h)
+	}
+}
+
+func TestInstanceHomConstantsFixed(t *testing.T) {
+	from := NewDatabase(MakeAtom("r", Constant("a")))
+	to := NewDatabase(MakeAtom("r", Constant("b")))
+	if HasInstanceHom(from, to) {
+		t.Fatal("constants must map to themselves")
+	}
+}
+
+func TestInstanceHomJoinConstraint(t *testing.T) {
+	f := NewNullFactory()
+	n := mkNull(f, "1")
+	// n must be simultaneously a target of r and a source of s.
+	from := NewDatabase(
+		MakeAtom("r", Constant("a"), n),
+		MakeAtom("s", n, Constant("b")),
+	)
+	good := NewDatabase(
+		MakeAtom("r", Constant("a"), Constant("m")),
+		MakeAtom("s", Constant("m"), Constant("b")),
+	)
+	bad := NewDatabase(
+		MakeAtom("r", Constant("a"), Constant("m")),
+		MakeAtom("s", Constant("k"), Constant("b")),
+	)
+	if !HasInstanceHom(from, good) {
+		t.Fatal("join-consistent mapping must be found")
+	}
+	if HasInstanceHom(from, bad) {
+		t.Fatal("join-inconsistent target must be rejected")
+	}
+}
+
+func TestInstanceHomBacktracking(t *testing.T) {
+	f := NewNullFactory()
+	n := mkNull(f, "1")
+	from := NewDatabase(
+		MakeAtom("r", n),
+		MakeAtom("s", n),
+	)
+	// r offers two candidates; only the second also satisfies s.
+	to := NewDatabase(
+		MakeAtom("r", Constant("x")),
+		MakeAtom("r", Constant("y")),
+		MakeAtom("s", Constant("y")),
+	)
+	h := InstanceHom(from, to)
+	if h == nil {
+		t.Fatal("backtracking must find the consistent candidate")
+	}
+	if h[n.Key()] != Term(Constant("y")) {
+		t.Fatalf("assignment = %v", h)
+	}
+}

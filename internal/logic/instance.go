@@ -1,0 +1,203 @@
+package logic
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Instance is a set of atoms over constants and nulls (a database when all
+// atoms are facts). It maintains per-predicate and per-(position, term)
+// indexes for conjunctive matching, and remembers insertion order so that
+// iteration and semi-naive deltas are deterministic.
+//
+// Instances are not safe for concurrent mutation.
+type Instance struct {
+	atoms  map[string]*Atom
+	order  []*Atom
+	seq    map[string]int
+	byPred map[Predicate][]*Atom
+	// index maps (predicate, argument position, term key) to the atoms
+	// that carry that term at that position; it accelerates bound-variable
+	// lookups during homomorphism search.
+	index map[posTermKey][]*Atom
+}
+
+type posTermKey struct {
+	pred Predicate
+	pos  int
+	term string
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{
+		atoms:  make(map[string]*Atom),
+		seq:    make(map[string]int),
+		byPred: make(map[Predicate][]*Atom),
+		index:  make(map[posTermKey][]*Atom),
+	}
+}
+
+// NewDatabase builds an instance from the given atoms; it is a convenience
+// constructor for literal databases.
+func NewDatabase(atoms ...*Atom) *Instance {
+	in := NewInstance()
+	for _, a := range atoms {
+		in.Add(a)
+	}
+	return in
+}
+
+// Add inserts the atom and reports whether it was new.
+func (in *Instance) Add(a *Atom) bool {
+	if _, ok := in.atoms[a.key]; ok {
+		return false
+	}
+	in.atoms[a.key] = a
+	in.seq[a.key] = len(in.order)
+	in.order = append(in.order, a)
+	in.byPred[a.Pred] = append(in.byPred[a.Pred], a)
+	for i, t := range a.Args {
+		k := posTermKey{pred: a.Pred, pos: i, term: t.Key()}
+		in.index[k] = append(in.index[k], a)
+	}
+	return true
+}
+
+// AddAll inserts every atom and returns the number of new atoms.
+func (in *Instance) AddAll(atoms []*Atom) int {
+	n := 0
+	for _, a := range atoms {
+		if in.Add(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the instance contains the atom.
+func (in *Instance) Has(a *Atom) bool {
+	_, ok := in.atoms[a.key]
+	return ok
+}
+
+// Canonical returns the instance's own copy of an atom equal to a, or nil
+// when absent. It lets callers exchange structurally equal atoms for the
+// pointer stored in the instance.
+func (in *Instance) Canonical(a *Atom) *Atom { return in.atoms[a.key] }
+
+// Len returns the number of atoms.
+func (in *Instance) Len() int { return len(in.order) }
+
+// Atoms returns the atoms in insertion order. The returned slice is shared;
+// callers must not modify it.
+func (in *Instance) Atoms() []*Atom { return in.order }
+
+// Seq returns the insertion sequence number of the atom, or -1 if absent.
+// Semi-naive evaluation treats atoms with sequence >= deltaStart as new.
+func (in *Instance) Seq(a *Atom) int {
+	if s, ok := in.seq[a.key]; ok {
+		return s
+	}
+	return -1
+}
+
+// ByPred returns the atoms with the given predicate, in insertion order.
+// The returned slice is shared; callers must not modify it.
+func (in *Instance) ByPred(p Predicate) []*Atom { return in.byPred[p] }
+
+// AtPosition returns the atoms that carry the given term at the given
+// 0-based argument position of the predicate.
+func (in *Instance) AtPosition(p Predicate, pos int, t Term) []*Atom {
+	return in.index[posTermKey{pred: p, pos: pos, term: t.Key()}]
+}
+
+// Predicates returns the distinct predicates of the instance, sorted by
+// name then arity.
+func (in *Instance) Predicates() []Predicate {
+	out := make([]Predicate, 0, len(in.byPred))
+	for p := range in.byPred {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// ActiveDomain returns the distinct terms occurring in the instance
+// (dom(I)), in order of first occurrence.
+func (in *Instance) ActiveDomain() []Term {
+	var out []Term
+	seen := make(map[string]bool)
+	for _, a := range in.order {
+		for _, t := range a.Args {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the instance (atoms are shared,
+// indexes are rebuilt).
+func (in *Instance) Clone() *Instance {
+	out := NewInstance()
+	for _, a := range in.order {
+		out.Add(a)
+	}
+	return out
+}
+
+// MaxDepth returns the maximum atom depth over the instance (0 when empty
+// or all facts).
+func (in *Instance) MaxDepth() int {
+	max := 0
+	for _, a := range in.order {
+		if d := a.Depth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsDatabase reports whether every atom is a fact (constants only).
+func (in *Instance) IsDatabase() bool {
+	for _, a := range in.order {
+		if !a.IsFact() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the instance as a sorted, brace-delimited atom set. It is
+// intended for small instances in tests and error messages.
+func (in *Instance) String() string {
+	atoms := make([]*Atom, len(in.order))
+	copy(atoms, in.order)
+	SortAtoms(atoms)
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// CanonicalKey returns a canonical string for the atom set (sorted atom
+// keys). Two instances have the same canonical key iff they contain the
+// same atoms.
+func (in *Instance) CanonicalKey() string {
+	keys := make([]string, 0, len(in.atoms))
+	for k := range in.atoms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strconv.Itoa(len(keys)) + "|" + strings.Join(keys, "\x02")
+}

@@ -1,0 +1,277 @@
+package logic
+
+import "sort"
+
+// This file implements homomorphism search: finding all substitutions h
+// from a conjunction of atoms (a TGD body, a query) into an instance such
+// that h maps every body atom onto some instance atom. It is a
+// backtracking join with index-based candidate selection and optional
+// semi-naive delta restriction.
+
+// MatchAll enumerates every homomorphism from body into inst and calls
+// yield for each. Enumeration stops early when yield returns false.
+//
+// If deltaStart >= 0, only homomorphisms that use at least one atom with
+// insertion sequence >= deltaStart are produced, and each such
+// homomorphism is produced exactly once (the standard semi-naive
+// decomposition: the i-th body atom is the first to land in the delta).
+// Pass deltaStart < 0 to enumerate against the full instance.
+//
+// The body atoms may contain variables, constants, nulls and fresh terms;
+// non-variable terms must match instance terms exactly.
+func MatchAll(body []*Atom, inst *Instance, deltaStart int, yield func(Substitution) bool) {
+	if len(body) == 0 {
+		yield(Substitution{})
+		return
+	}
+	if deltaStart < 0 {
+		ordered, cons := orderBody(inst, body, make([]deltaConstraint, len(body)), -1)
+		m := &matcher{inst: inst, body: ordered, constraints: cons}
+		m.run(yield)
+		return
+	}
+	// Semi-naive: for each seed position, body[0..seed-1] must map to old
+	// atoms, body[seed] to a delta atom, the rest anywhere. The join is
+	// evaluated seed-first so every round's work is proportional to the
+	// delta, not the instance.
+	for seed := range body {
+		cons := make([]deltaConstraint, len(body))
+		for i := range cons {
+			switch {
+			case i < seed:
+				cons[i] = deltaConstraint{mode: mustBeOld, bound: deltaStart}
+			case i == seed:
+				cons[i] = deltaConstraint{mode: mustBeNew, bound: deltaStart}
+			}
+		}
+		ordered, orderedCons := orderBody(inst, body, cons, seed)
+		m := &matcher{inst: inst, body: ordered, constraints: orderedCons}
+		if !m.run(yield) {
+			return
+		}
+	}
+}
+
+// orderBody reorders a body for join evaluation: the start atom first (the
+// delta seed, or the atom with the fewest candidates when start < 0),
+// then greedily the atom sharing the most variables with those already
+// placed, which avoids Cartesian intermediate results. Each atom keeps its
+// delta constraint.
+func orderBody(inst *Instance, body []*Atom, cons []deltaConstraint, start int) ([]*Atom, []deltaConstraint) {
+	n := len(body)
+	if n <= 1 {
+		return body, cons
+	}
+	if start < 0 {
+		start = 0
+		best := len(inst.ByPred(body[0].Pred))
+		for i := 1; i < n; i++ {
+			if c := len(inst.ByPred(body[i].Pred)); c < best {
+				best = c
+				start = i
+			}
+		}
+	}
+	used := make([]bool, n)
+	bound := make(map[Variable]bool)
+	orderedAtoms := make([]*Atom, 0, n)
+	orderedCons := make([]deltaConstraint, 0, n)
+	place := func(i int) {
+		used[i] = true
+		orderedAtoms = append(orderedAtoms, body[i])
+		orderedCons = append(orderedCons, cons[i])
+		for _, v := range body[i].Variables() {
+			bound[v] = true
+		}
+	}
+	place(start)
+	for len(orderedAtoms) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, v := range body[i].Variables() {
+				if bound[v] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+		place(best)
+	}
+	return orderedAtoms, orderedCons
+}
+
+// FindOne returns some homomorphism from body into inst, or nil if none
+// exists.
+func FindOne(body []*Atom, inst *Instance) Substitution {
+	var found Substitution
+	MatchAll(body, inst, -1, func(s Substitution) bool {
+		found = s.Clone()
+		return false
+	})
+	return found
+}
+
+// ExtendOne reports whether the partial substitution base extends to a
+// homomorphism from body into inst, returning one such extension (or nil).
+// It is used by the restricted chase to test whether a trigger's head is
+// already satisfied.
+func ExtendOne(body []*Atom, inst *Instance, base Substitution) Substitution {
+	pre := make([]*Atom, len(body))
+	for i, a := range body {
+		pre[i] = base.ApplyAtom(a)
+	}
+	var found Substitution
+	MatchAll(pre, inst, -1, func(s Substitution) bool {
+		found = s.Clone()
+		return false
+	})
+	if found == nil {
+		return nil
+	}
+	for v, t := range base {
+		found[v] = t
+	}
+	return found
+}
+
+type constraintMode int
+
+const (
+	anyAge constraintMode = iota
+	mustBeOld
+	mustBeNew
+)
+
+type deltaConstraint struct {
+	mode  constraintMode
+	bound int
+}
+
+func (c deltaConstraint) admits(seq int) bool {
+	switch c.mode {
+	case mustBeOld:
+		return seq < c.bound
+	case mustBeNew:
+		return seq >= c.bound
+	default:
+		return true
+	}
+}
+
+type matcher struct {
+	inst        *Instance
+	body        []*Atom
+	constraints []deltaConstraint
+	subst       Substitution
+	stopped     bool
+}
+
+// run enumerates matches; it returns false if the consumer stopped early.
+func (m *matcher) run(yield func(Substitution) bool) bool {
+	m.subst = make(Substitution)
+	m.backtrack(0, yield)
+	return !m.stopped
+}
+
+func (m *matcher) backtrack(i int, yield func(Substitution) bool) {
+	if m.stopped {
+		return
+	}
+	if i == len(m.body) {
+		if !yield(m.subst) {
+			m.stopped = true
+		}
+		return
+	}
+	pattern := m.body[i]
+	cons := m.constraints[i]
+	for _, cand := range m.candidates(pattern, cons) {
+		if !cons.admits(m.inst.Seq(cand)) {
+			continue
+		}
+		bound, ok := m.unify(pattern, cand)
+		if ok {
+			m.backtrack(i+1, yield)
+		}
+		for _, v := range bound {
+			delete(m.subst, v)
+		}
+		if m.stopped {
+			return
+		}
+	}
+}
+
+// candidates returns the smallest available index list for the pattern
+// under the current bindings: if some argument is ground (constant, null,
+// fresh, or an already-bound variable), the positional index narrows the
+// scan; otherwise all atoms of the predicate are scanned. Index lists are
+// in insertion order, so age constraints slice them by binary search
+// instead of filtering — this keeps semi-naive rounds linear in the delta.
+func (m *matcher) candidates(pattern *Atom, cons deltaConstraint) []*Atom {
+	best := m.sliceByAge(m.inst.ByPred(pattern.Pred), cons)
+	for pos, t := range pattern.Args {
+		ground := m.subst.Apply(t)
+		if !IsGround(ground) {
+			continue
+		}
+		list := m.sliceByAge(m.inst.AtPosition(pattern.Pred, pos, ground), cons)
+		if len(list) < len(best) {
+			best = list
+		}
+	}
+	return best
+}
+
+// sliceByAge restricts an insertion-ordered atom list to the constraint's
+// age window.
+func (m *matcher) sliceByAge(list []*Atom, cons deltaConstraint) []*Atom {
+	switch cons.mode {
+	case mustBeNew:
+		i := sort.Search(len(list), func(k int) bool { return m.inst.Seq(list[k]) >= cons.bound })
+		return list[i:]
+	case mustBeOld:
+		i := sort.Search(len(list), func(k int) bool { return m.inst.Seq(list[k]) >= cons.bound })
+		return list[:i]
+	default:
+		return list
+	}
+}
+
+// unify extends the current substitution so that pattern maps onto fact.
+// It returns the variables newly bound; when unification fails it undoes
+// its own bindings and reports false.
+func (m *matcher) unify(pattern, fact *Atom) ([]Variable, bool) {
+	var bound []Variable
+	for i, t := range pattern.Args {
+		ft := fact.Args[i]
+		if v, ok := t.(Variable); ok {
+			if img, ok := m.subst[v]; ok {
+				if img.Key() != ft.Key() {
+					for _, b := range bound {
+						delete(m.subst, b)
+					}
+					return nil, false
+				}
+				continue
+			}
+			m.subst[v] = ft
+			bound = append(bound, v)
+			continue
+		}
+		if t.Key() != ft.Key() {
+			for _, b := range bound {
+				delete(m.subst, b)
+			}
+			return nil, false
+		}
+	}
+	return bound, true
+}

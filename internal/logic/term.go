@@ -1,0 +1,149 @@
+// Package logic provides the first-order data model underlying the chase:
+// terms (constants, labeled nulls, variables), predicates and positions,
+// atoms, substitutions, instances and databases, and homomorphism search.
+//
+// Terms are compared by their Key: two terms are the same term if and only
+// if their keys are equal. Nulls are interned through a NullFactory, which
+// realizes the semi-oblivious naming scheme of the paper (a null is
+// uniquely determined by the trigger that invents it, restricted to the
+// frontier, and the existential variable it stands for).
+package logic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Term is a constant, a labeled null, or a variable.
+//
+// Equality of terms is equality of keys. Packages outside logic may define
+// additional term kinds (for example canonical integers in type atoms) as
+// long as their keys cannot collide with the built-in kinds; the built-in
+// key prefixes are "c\x00", "n\x00", "v\x00" and "f\x00".
+type Term interface {
+	// Key returns a string that uniquely identifies the term.
+	Key() string
+	// String returns a human-readable rendering of the term.
+	String() string
+}
+
+// Constant is a term from the countably infinite set C of constants.
+type Constant string
+
+// Key implements Term.
+func (c Constant) Key() string { return "c\x00" + string(c) }
+
+func (c Constant) String() string { return string(c) }
+
+// Variable is a term from the countably infinite set V of variables.
+type Variable string
+
+// Key implements Term.
+func (v Variable) Key() string { return "v\x00" + string(v) }
+
+func (v Variable) String() string { return string(v) }
+
+// Fresh is an auxiliary term kind used for canonical integers in type atoms
+// and for fresh placeholder terms during completion. Fresh terms behave
+// like constants for the purposes of homomorphisms (they are never
+// substituted).
+type Fresh int
+
+// Key implements Term.
+func (f Fresh) Key() string { return "f\x00" + strconv.Itoa(int(f)) }
+
+func (f Fresh) String() string { return strconv.Itoa(int(f)) }
+
+// Null is a term from the countably infinite set N of labeled nulls.
+// Nulls are created exclusively through a NullFactory; two nulls are the
+// same value if and only if they were interned under the same key, so
+// pointer equality coincides with term equality within one factory.
+type Null struct {
+	id    int
+	name  string
+	depth int
+}
+
+// Key implements Term.
+func (n *Null) Key() string { return "n\x00" + strconv.Itoa(n.id) }
+
+// String returns the printable name of the null (for example "⊥3").
+func (n *Null) String() string { return n.name }
+
+// ID returns the factory-assigned identifier of the null.
+func (n *Null) ID() int { return n.id }
+
+// Depth returns the depth of the null per Definition 4.3 of the paper:
+// 1 + the maximum depth over the frontier terms of the trigger that
+// invented it (0 if the frontier is empty).
+func (n *Null) Depth() int { return n.depth }
+
+// NullFactory interns nulls by an arbitrary caller-chosen key. The chase
+// uses keys of the form (TGD, existential variable, frontier assignment),
+// which realizes the semi-oblivious chase's canonical null names.
+type NullFactory struct {
+	byKey map[string]*Null
+	all   []*Null
+}
+
+// NewNullFactory returns an empty factory.
+func NewNullFactory() *NullFactory {
+	return &NullFactory{byKey: make(map[string]*Null)}
+}
+
+// Intern returns the null registered under key, creating it with the given
+// depth if absent. The second result reports whether the null was newly
+// created. The depth argument is ignored for an existing null.
+func (f *NullFactory) Intern(key string, depth int) (*Null, bool) {
+	if n, ok := f.byKey[key]; ok {
+		return n, false
+	}
+	n := &Null{id: len(f.all), name: "⊥" + strconv.Itoa(len(f.all)), depth: depth}
+	f.byKey[key] = n
+	f.all = append(f.all, n)
+	return n, true
+}
+
+// Len returns the number of nulls created so far.
+func (f *NullFactory) Len() int { return len(f.all) }
+
+// MaxDepth returns the maximum depth over all nulls created so far, or 0
+// if none exist.
+func (f *NullFactory) MaxDepth() int {
+	max := 0
+	for _, n := range f.all {
+		if n.depth > max {
+			max = n.depth
+		}
+	}
+	return max
+}
+
+// TermDepth returns the depth of a term per Definition 4.3: constants (and
+// all non-null terms) have depth 0; a null reports its interned depth.
+func TermDepth(t Term) int {
+	if n, ok := t.(*Null); ok {
+		return n.depth
+	}
+	return 0
+}
+
+// IsGround reports whether the term contains no variables, i.e. it is a
+// constant, null, or fresh term.
+func IsGround(t Term) bool {
+	_, isVar := t.(Variable)
+	return !isVar
+}
+
+func formatTerms(args []Term) string {
+	s := "("
+	for i, a := range args {
+		if i > 0 {
+			s += ","
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+var _ = fmt.Stringer(Constant(""))

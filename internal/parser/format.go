@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// FormatDatabase writes the instance in the parser's fact syntax, sorted
+// canonically, one fact per line. Nulls are rendered as reserved
+// constants "null_<id>" so that a materialized instance can be written
+// and re-read (the re-read instance treats them as constants, which is
+// the standard freeze of a null-valued instance).
+func FormatDatabase(w io.Writer, in *logic.Instance) error {
+	atoms := make([]*logic.Atom, len(in.Atoms()))
+	copy(atoms, in.Atoms())
+	logic.SortAtoms(atoms)
+	for _, a := range atoms {
+		if _, err := io.WriteString(w, formatAtom(a)+".\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatRules writes the TGD set in the parser's rule syntax, one rule
+// per line, with explicit existential quantifiers.
+func FormatRules(w io.Writer, sigma *tgds.Set) error {
+	for _, t := range sigma.TGDs {
+		if _, err := io.WriteString(w, FormatTGD(t)+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatTGD renders one TGD in parseable syntax (with its trailing dot).
+func FormatTGD(t *tgds.TGD) string {
+	var b strings.Builder
+	for i, a := range t.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(formatAtom(a))
+	}
+	b.WriteString(" -> ")
+	for _, z := range t.Existential() {
+		fmt.Fprintf(&b, "∃%s ", z)
+	}
+	for i, a := range t.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(formatAtom(a))
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func formatAtom(a *logic.Atom) string {
+	var b strings.Builder
+	b.WriteString(a.Pred.Name)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch tm := t.(type) {
+		case *logic.Null:
+			fmt.Fprintf(&b, "null_%d", tm.ID())
+		default:
+			b.WriteString(t.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,427 @@
+// Package parser reads databases and TGD programs from a small DLGP-style
+// text format:
+//
+//	% a comment (to end of line)
+//	person(alice).                      % a fact: lowercase terms are constants
+//	parent(alice, bob).
+//	person(X) -> ∃Y parent(X, Y).       % a rule; the quantifier is optional
+//	parent(X, Y), person(Y) -> person(X).
+//
+// Identifiers starting with an uppercase letter or underscore are
+// variables; everything else (including numbers) is a constant. Head
+// variables that do not occur in the body are implicitly existentially
+// quantified, so the "∃Y" annotation (also accepted as "exists Y") is
+// optional and checked for consistency when present.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Program is the result of parsing: a database (the facts) and a set of
+// TGDs (the rules), in source order.
+type Program struct {
+	Database *logic.Instance
+	Rules    *tgds.Set
+}
+
+// Parse reads a full program from src.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	return p.parseProgram()
+}
+
+// ParseDatabase parses a program that must contain only facts.
+func ParseDatabase(src string) (*logic.Instance, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if prog.Rules.Len() > 0 {
+		return nil, fmt.Errorf("parser: expected facts only, found %d rule(s)", prog.Rules.Len())
+	}
+	return prog.Database, nil
+}
+
+// ParseRules parses a program that must contain only rules.
+func ParseRules(src string) (*tgds.Set, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if prog.Database.Len() > 0 {
+		return nil, fmt.Errorf("parser: expected rules only, found %d fact(s)", prog.Database.Len())
+	}
+	return prog.Rules, nil
+}
+
+// MustParseRules is ParseRules for statically-known programs; it panics on
+// error.
+func MustParseRules(src string) *tgds.Set {
+	s, err := ParseRules(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustParseDatabase is ParseDatabase for statically-known programs; it
+// panics on error.
+func MustParseDatabase(src string) *logic.Instance {
+	db, err := ParseDatabase(src)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow
+	tokExists
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("parser: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '%' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) scan() (token, error) {
+	start := token{line: l.line, col: l.col}
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.advance()
+		start.kind = tokLParen
+		return start, nil
+	case ')':
+		l.advance()
+		start.kind = tokRParen
+		return start, nil
+	case ',':
+		l.advance()
+		start.kind = tokComma
+		return start, nil
+	case '.':
+		l.advance()
+		start.kind = tokDot
+		return start, nil
+	case '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.advance()
+			l.advance()
+			start.kind = tokArrow
+			return start, nil
+		}
+		return start, l.errorf(start.line, start.col, "unexpected %q", c)
+	}
+	// Unicode arrow and quantifier.
+	if strings.HasPrefix(l.src[l.pos:], "→") {
+		for i := 0; i < len("→"); i++ {
+			l.advance()
+		}
+		start.kind = tokArrow
+		return start, nil
+	}
+	if strings.HasPrefix(l.src[l.pos:], "∃") {
+		for i := 0; i < len("∃"); i++ {
+			l.advance()
+		}
+		start.kind = tokExists
+		return start, nil
+	}
+	if isIdentStart(rune(c)) {
+		begin := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.advance()
+		}
+		start.text = l.src[begin:l.pos]
+		if start.text == "exists" {
+			start.kind = tokExists
+		} else {
+			start.kind = tokIdent
+		}
+		return start, nil
+	}
+	return start, l.errorf(start.line, start.col, "unexpected character %q", c)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '⊥' || r == '[' || r == ']' || r == '#'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || r == '\''
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return t, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return t, err
+	}
+	if t.kind != kind {
+		return t, p.lex.errorf(t.line, t.col, "expected %s", what)
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Database: logic.NewInstance(), Rules: tgds.NewSet()}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return prog, nil
+		}
+		if err := p.parseStatement(prog); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseStatement(prog *Program) error {
+	first, err := p.parseAtomList()
+	if err != nil {
+		return err
+	}
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	switch t.kind {
+	case tokDot:
+		// Facts.
+		for _, a := range first {
+			if !a.IsFact() {
+				return p.lex.errorf(t.line, t.col, "fact %v contains variables", a)
+			}
+			prog.Database.Add(a)
+		}
+		return nil
+	case tokArrow:
+		declared, head, err := p.parseHead()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot, "'.' after rule"); err != nil {
+			return err
+		}
+		rule, err := tgds.New(first, head)
+		if err != nil {
+			return fmt.Errorf("parser: %d:%d: %v", t.line, t.col, err)
+		}
+		if err := checkDeclared(rule, declared); err != nil {
+			return fmt.Errorf("parser: %d:%d: %v", t.line, t.col, err)
+		}
+		prog.Rules.Add(rule)
+		return nil
+	default:
+		return p.lex.errorf(t.line, t.col, "expected '.' or '->'")
+	}
+}
+
+// parseHead reads an optional chain of existential quantifiers followed by
+// the head atom list.
+func (p *parser) parseHead() ([]logic.Variable, []*logic.Atom, error) {
+	var declared []logic.Variable
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.kind != tokExists {
+			break
+		}
+		if _, err := p.next(); err != nil {
+			return nil, nil, err
+		}
+		v, err := p.expect(tokIdent, "variable after quantifier")
+		if err != nil {
+			return nil, nil, err
+		}
+		if !isVariableName(v.text) {
+			return nil, nil, p.lex.errorf(v.line, v.col, "quantified name %q must be a variable (uppercase)", v.text)
+		}
+		declared = append(declared, logic.Variable(v.text))
+		// Optional comma between quantified variables.
+		if t, err := p.peek(); err == nil && t.kind == tokComma {
+			if _, err := p.next(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	atoms, err := p.parseAtomList()
+	return declared, atoms, err
+}
+
+func (p *parser) parseAtomList() ([]*logic.Atom, error) {
+	var out []*logic.Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokComma {
+			return out, nil
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAtom() (*logic.Atom, error) {
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'(' after predicate name"); err != nil {
+		return nil, err
+	}
+	var args []logic.Term
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokRParen && len(args) == 0 {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.lex.errorf(t.line, t.col, "expected term")
+		}
+		if isVariableName(t.text) {
+			args = append(args, logic.Variable(t.text))
+		} else {
+			args = append(args, logic.Constant(t.text))
+		}
+		sep, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if sep.kind == tokRParen {
+			break
+		}
+		if sep.kind != tokComma {
+			return nil, p.lex.errorf(sep.line, sep.col, "expected ',' or ')'")
+		}
+	}
+	pred := logic.Predicate{Name: name.text, Arity: len(args)}
+	return logic.NewAtom(pred, args...), nil
+}
+
+func isVariableName(s string) bool {
+	for _, r := range s {
+		return unicode.IsUpper(r) || r == '_'
+	}
+	return false
+}
+
+func checkDeclared(rule *tgds.TGD, declared []logic.Variable) error {
+	if len(declared) == 0 {
+		return nil
+	}
+	want := make(map[logic.Variable]bool)
+	for _, v := range rule.Existential() {
+		want[v] = true
+	}
+	got := make(map[logic.Variable]bool)
+	for _, v := range declared {
+		if !want[v] {
+			return fmt.Errorf("quantified variable %s also occurs in the body (or not in the head)", v)
+		}
+		got[v] = true
+	}
+	for v := range want {
+		if !got[v] {
+			return fmt.Errorf("head variable %s is existential but not quantified", v)
+		}
+	}
+	return nil
+}

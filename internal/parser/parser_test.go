@@ -1,0 +1,147 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+func TestParseFacts(t *testing.T) {
+	db, err := ParseDatabase(`
+		% people
+		person(alice).
+		parent(alice, bob). // trailing comment
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("parsed %d facts", db.Len())
+	}
+	if !db.Has(logic.MakeAtom("parent", logic.Constant("alice"), logic.Constant("bob"))) {
+		t.Fatal("parent fact missing")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(`
+		person(X) -> ∃Y parent(X, Y).
+		parent(X, Y), person(Y) -> person(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Len() != 2 {
+		t.Fatalf("parsed %d rules", rules.Len())
+	}
+	first := rules.TGDs[0]
+	if len(first.Existential()) != 1 || first.Existential()[0] != logic.Variable("Y") {
+		t.Fatalf("existentials = %v", first.Existential())
+	}
+	// parent(X,Y) contains both X and Y, so the second rule is guarded.
+	if rules.Classify() != tgds.ClassG {
+		t.Fatalf("classify = %v, want G", rules.Classify())
+	}
+}
+
+func TestParseGuardClassification(t *testing.T) {
+	rules, err := ParseRules(`parent(X, Y), person(Y) -> person(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules.Classify(); got != tgds.ClassG {
+		t.Fatalf("classify = %v, want G", got)
+	}
+}
+
+func TestParseASCIIQuantifier(t *testing.T) {
+	rules, err := ParseRules(`person(X) -> exists Y parent(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Len() != 1 {
+		t.Fatal("rule missing")
+	}
+}
+
+func TestParseImplicitExistential(t *testing.T) {
+	rules, err := ParseRules(`r(X) -> s(X, Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := rules.TGDs[0].Existential()
+	if len(ex) != 1 || ex[0] != logic.Variable("Z") {
+		t.Fatalf("existential = %v", ex)
+	}
+}
+
+func TestParseMixedProgram(t *testing.T) {
+	prog, err := Parse(`
+		r(a, b).
+		r(X, Y) -> ∃Z r(Y, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Database.Len() != 1 || prog.Rules.Len() != 1 {
+		t.Fatalf("db=%d rules=%d", prog.Database.Len(), prog.Rules.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"r(X).", "contains variables"},
+		{"r(a)", "expected '.'"},
+		{"r(a) -> .", "predicate name"},
+		{"-> r(a).", "predicate name"},
+		{"r(X) -> ∃X r(X, X).", "also occurs in the body"},
+		{"r(a,.", "expected term"},
+		{"r(a))", "expected '.'"},
+		{"!", "unexpected"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseQuantifierConsistency(t *testing.T) {
+	// Declared quantifier must cover exactly the head-only variables.
+	if _, err := Parse(`r(X) -> ∃Z s(X, Z, W).`); err == nil || !strings.Contains(err.Error(), "not quantified") {
+		t.Fatalf("expected missing-quantifier error, got %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `r(X, Y) -> ∃Z r(Y, Z), p(X).`
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := rules.TGDs[0].String()
+	again, err := ParseRules(rendered + ".")
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", rendered, err)
+	}
+	if again.TGDs[0].Key() != rules.TGDs[0].Key() {
+		t.Fatalf("round trip changed rule: %q vs %q", again.TGDs[0].Key(), rules.TGDs[0].Key())
+	}
+}
+
+func TestParseZeroArity(t *testing.T) {
+	db, err := ParseDatabase(`halted().`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatal("zero-arity fact missing")
+	}
+	if db.Atoms()[0].Pred.Arity != 0 {
+		t.Fatal("arity must be 0")
+	}
+}

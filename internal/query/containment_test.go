@@ -1,0 +1,147 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestContainmentBasic(t *testing.T) {
+	// q1: ans(X) <- e(X,Y), e(Y,Z)   (paths of length 2)
+	// q2: ans(X) <- e(X,Y)           (paths of length 1)
+	z := logic.Variable("Z")
+	q1 := MustCQ([]logic.Variable{x}, []*logic.Atom{
+		logic.MakeAtom("e", x, y), logic.MakeAtom("e", y, z),
+	})
+	q2 := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	le, err := q1.ContainedIn(q2)
+	if err != nil || !le {
+		t.Fatalf("length-2 paths ⊑ length-1 paths: %v, %v", le, err)
+	}
+	ge, err := q2.ContainedIn(q1)
+	if err != nil || ge {
+		t.Fatalf("length-1 paths ⊄ length-2 paths: %v, %v", ge, err)
+	}
+}
+
+func TestContainmentSelfLoop(t *testing.T) {
+	// ans() <- e(X,X) is contained in ans() <- e(X,Y) but not conversely.
+	loop := MustCQ(nil, []*logic.Atom{logic.MakeAtom("e", x, x)})
+	edge := MustCQ(nil, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	le, _ := loop.ContainedIn(edge)
+	if !le {
+		t.Fatal("loop ⊑ edge")
+	}
+	ge, _ := edge.ContainedIn(loop)
+	if ge {
+		t.Fatal("edge ⊄ loop")
+	}
+}
+
+func TestEquivalenceModuloRenaming(t *testing.T) {
+	a, b := logic.Variable("A"), logic.Variable("B")
+	q1 := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	q2 := MustCQ([]logic.Variable{a}, []*logic.Atom{logic.MakeAtom("e", a, b)})
+	eq, err := q1.Equivalent(q2)
+	if err != nil || !eq {
+		t.Fatalf("renamed queries must be equivalent: %v, %v", eq, err)
+	}
+}
+
+func TestEquivalenceRedundantAtom(t *testing.T) {
+	// e(X,Y), e(X,Y2) is equivalent to e(X,Y): the second atom folds.
+	y2 := logic.Variable("Y2")
+	q1 := MustCQ([]logic.Variable{x}, []*logic.Atom{
+		logic.MakeAtom("e", x, y), logic.MakeAtom("e", x, y2),
+	})
+	q2 := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	eq, err := q1.Equivalent(q2)
+	if err != nil || !eq {
+		t.Fatalf("redundant atom must fold: %v, %v", eq, err)
+	}
+}
+
+func TestContainmentArityMismatch(t *testing.T) {
+	q1 := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	q2 := MustCQ([]logic.Variable{x, y}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	if _, err := q1.ContainedIn(q2); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	z := logic.Variable("Z")
+	long := MustCQ([]logic.Variable{x}, []*logic.Atom{
+		logic.MakeAtom("e", x, y), logic.MakeAtom("e", y, z),
+	})
+	short := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	other := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("f", x)})
+	u, err := NewUCQ(long, short, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := u.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 'long' is subsumed by 'short'; 'other' is incomparable.
+	if len(min.Disjuncts) != 2 {
+		t.Fatalf("minimized to %d disjuncts: %v", len(min.Disjuncts), min)
+	}
+}
+
+func TestMinimizeKeepsOneOfEquivalentPair(t *testing.T) {
+	a, b := logic.Variable("A"), logic.Variable("B")
+	q1 := MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)})
+	q2 := MustCQ([]logic.Variable{a}, []*logic.Atom{logic.MakeAtom("e", a, b)})
+	u, _ := NewUCQ(q1, q2)
+	min, err := u.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Disjuncts) != 1 {
+		t.Fatalf("equivalent pair must collapse to one disjunct, got %d", len(min.Disjuncts))
+	}
+}
+
+// Soundness of containment against evaluation: whenever q1 ⊑ q2 is
+// reported, answers of q1 over random instances are answers of q2.
+func TestContainmentSoundOnRandomData(t *testing.T) {
+	z := logic.Variable("Z")
+	queries := []*CQ{
+		MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y)}),
+		MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y), logic.MakeAtom("e", y, z)}),
+		MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, x)}),
+		MustCQ([]logic.Variable{x}, []*logic.Atom{logic.MakeAtom("e", x, y), logic.MakeAtom("e", y, x)}),
+	}
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 30; trial++ {
+		in := logic.NewInstance()
+		for i := 0; i < 12; i++ {
+			in.Add(logic.MakeAtom("e",
+				logic.Constant(string(rune('a'+rng.Intn(4)))),
+				logic.Constant(string(rune('a'+rng.Intn(4))))))
+		}
+		for _, q1 := range queries {
+			for _, q2 := range queries {
+				le, err := q1.ContainedIn(q2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !le {
+					continue
+				}
+				ans2 := map[string]bool{}
+				for _, tup := range q2.Answers(in) {
+					ans2[tup.Key()] = true
+				}
+				for _, tup := range q1.Answers(in) {
+					if !ans2[tup.Key()] {
+						t.Fatalf("containment unsound: %v ⊑ %v but %v only answers the first", q1, q2, tup)
+					}
+				}
+			}
+		}
+	}
+}

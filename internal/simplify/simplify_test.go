@@ -1,0 +1,170 @@
+package simplify
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+func TestIDPatternPaperExample(t *testing.T) {
+	// id((x,y,x,z,y)) = (1,2,1,3,2), unique = (x,y,z).
+	x, y, z := logic.Variable("X"), logic.Variable("Y"), logic.Variable("Z")
+	args := []logic.Term{x, y, x, z, y}
+	got := IDPattern(args)
+	want := []int{1, 2, 1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id pattern = %v, want %v", got, want)
+		}
+	}
+	u := Unique(args)
+	if len(u) != 3 || u[0] != logic.Term(x) || u[1] != logic.Term(y) || u[2] != logic.Term(z) {
+		t.Fatalf("unique = %v", u)
+	}
+}
+
+func TestPatternPredicateRoundTrip(t *testing.T) {
+	base := logic.Predicate{Name: "R", Arity: 5}
+	p := PatternPredicate(base, []int{1, 2, 1, 3, 2})
+	if p.Arity != 3 {
+		t.Fatalf("pattern predicate arity = %d, want 3", p.Arity)
+	}
+	gotBase, gotPattern, ok := ParsePatternPredicate(p)
+	if !ok || gotBase != "R" {
+		t.Fatalf("parse: base=%q ok=%v", gotBase, ok)
+	}
+	if len(gotPattern) != 5 || gotPattern[2] != 1 {
+		t.Fatalf("pattern = %v", gotPattern)
+	}
+	if _, _, ok := ParsePatternPredicate(base); ok {
+		t.Fatal("plain predicate must not parse as pattern")
+	}
+}
+
+func TestSimplifyAtomAndDatabase(t *testing.T) {
+	a, b := logic.Constant("a"), logic.Constant("b")
+	atom := logic.MakeAtom("R", a, a, b)
+	s := Atom(atom)
+	if s.Pred.Name != "R#1.1.2" || s.Pred.Arity != 2 {
+		t.Fatalf("simplified = %v", s)
+	}
+	db := logic.NewDatabase(atom, logic.MakeAtom("R", a, b, b))
+	sdb := Database(db)
+	if sdb.Len() != 2 {
+		t.Fatalf("|simple(D)| = %d", sdb.Len())
+	}
+}
+
+// Specializations are in bijection with ordered set partitions of the
+// variables; their number is the Bell number.
+func TestSpecializationsCount(t *testing.T) {
+	bell := []int{1, 1, 2, 5, 15}
+	for n := 0; n <= 4; n++ {
+		vars := make([]logic.Variable, n)
+		for i := range vars {
+			vars[i] = logic.Variable(string(rune('A' + i)))
+		}
+		got := len(Specializations(vars))
+		if got != bell[n] {
+			t.Fatalf("specializations(%d vars) = %d, want Bell = %d", n, got, bell[n])
+		}
+	}
+}
+
+func TestSpecializationsForm(t *testing.T) {
+	x, y := logic.Variable("X"), logic.Variable("Y")
+	specs := Specializations([]logic.Variable{x, y})
+	// {X->X, Y->Y} and {X->X, Y->X}.
+	if len(specs) != 2 {
+		t.Fatalf("specs = %v", specs)
+	}
+	for _, f := range specs {
+		if f[x] != x {
+			t.Fatal("f(x1) must be x1")
+		}
+		if f[y] != x && f[y] != y {
+			t.Fatalf("f(y) = %v", f[y])
+		}
+	}
+}
+
+// Example 7.1's simplification: R(x,x) -> ∃z R(z,x) has the single-
+// variable body, so simple(Σ) = { R#1.1(x) -> ∃z R#1.2(z,x) }.
+func TestSimplifyExample71(t *testing.T) {
+	sigma := parser.MustParseRules(`r(X, X) -> ∃Z r(Z, X).`)
+	s, err := Set(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("|simple(Σ)| = %d, want 1\n%v", s.Len(), s)
+	}
+	st := s.TGDs[0]
+	if st.Body[0].Pred.Name != "r#1.1" || st.Body[0].Pred.Arity != 1 {
+		t.Fatalf("body = %v", st.Body[0])
+	}
+	if st.Head[0].Pred.Name != "r#1.2" || st.Head[0].Pred.Arity != 2 {
+		t.Fatalf("head = %v", st.Head[0])
+	}
+	if !st.IsSimpleLinear() {
+		t.Fatal("simplification must be simple linear")
+	}
+}
+
+// A non-trivial body spawns one simplified TGD per specialization.
+func TestSimplifyProducesAllSpecializations(t *testing.T) {
+	sigma := parser.MustParseRules(`r(X, Y) -> ∃Z s(X, Y, Z).`)
+	s, err := Set(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two specializations: identity and Y->X.
+	if s.Len() != 2 {
+		t.Fatalf("|simple(Σ)| = %d, want 2\n%v", s.Len(), s)
+	}
+	for _, st := range s.TGDs {
+		if !st.IsSimpleLinear() {
+			t.Fatalf("%v is not simple linear", st)
+		}
+	}
+}
+
+func TestSimplifyRejectsNonLinear(t *testing.T) {
+	sigma := parser.MustParseRules(`r(X, Y), s(Y) -> p(X).`)
+	if _, err := Set(sigma); err == nil {
+		t.Fatal("non-linear TGD must be rejected")
+	}
+}
+
+func TestSimplifyHeadCollapses(t *testing.T) {
+	// Head repetition must produce the collapsed pattern predicate.
+	sigma := parser.MustParseRules(`r(X) -> s(X, X).`)
+	s, err := Set(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := s.TGDs[0].Head[0]
+	if head.Pred.Name != "s#1.1" || head.Pred.Arity != 1 {
+		t.Fatalf("head = %v", head)
+	}
+}
+
+func TestSimplifySetArityBound(t *testing.T) {
+	// ar(simple(Σ)) <= ar(Σ) (proof of Lemma 7.4).
+	sigma := parser.MustParseRules(`
+		r(X, Y, X) -> ∃Z s(X, Z, Z, Y).
+		s(A, B, B, C) -> r(A, B, C).
+	`)
+	s, err := Set(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() > sigma.Arity() {
+		t.Fatalf("ar(simple(Σ)) = %d > ar(Σ) = %d", s.Arity(), sigma.Arity())
+	}
+	if got := s.Classify(); got != tgds.ClassSL {
+		t.Fatalf("simple(Σ) class = %v", got)
+	}
+}

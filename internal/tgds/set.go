@@ -1,0 +1,155 @@
+package tgds
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Class identifies the syntactic class of a set of TGDs, from most to
+// least restrictive. Classify returns the most restrictive class that
+// contains the set.
+type Class int
+
+const (
+	// ClassSL is the class of sets of simple linear TGDs.
+	ClassSL Class = iota
+	// ClassL is the class of sets of linear TGDs.
+	ClassL
+	// ClassG is the class of sets of guarded TGDs.
+	ClassG
+	// ClassTGD is the class of arbitrary sets of TGDs.
+	ClassTGD
+)
+
+// String returns the conventional name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassSL:
+		return "SL"
+	case ClassL:
+		return "L"
+	case ClassG:
+		return "G"
+	default:
+		return "TGD"
+	}
+}
+
+// Set is a finite set of TGDs. The zero value is not usable; construct
+// with NewSet. TGDs keep their insertion order and receive sequential IDs;
+// duplicates (by canonical key) are dropped.
+type Set struct {
+	TGDs []*TGD
+	keys map[string]bool
+}
+
+// NewSet builds a set from the given TGDs, assigning IDs and removing
+// duplicates.
+func NewSet(tgds ...*TGD) *Set {
+	s := &Set{keys: make(map[string]bool)}
+	for _, t := range tgds {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts the TGD if it is not already present (by canonical key) and
+// reports whether it was added. The TGD's ID is set to its index.
+func (s *Set) Add(t *TGD) bool {
+	if s.keys[t.key] {
+		return false
+	}
+	s.keys[t.key] = true
+	t.ID = len(s.TGDs)
+	s.TGDs = append(s.TGDs, t)
+	return true
+}
+
+// Len returns the number of TGDs.
+func (s *Set) Len() int { return len(s.TGDs) }
+
+// Classify returns the most restrictive class among SL, L, G, TGD that
+// contains the set. The empty set classifies as SL.
+func (s *Set) Classify() Class {
+	c := ClassSL
+	for _, t := range s.TGDs {
+		switch {
+		case t.IsSimpleLinear():
+		case t.IsLinear():
+			if c < ClassL {
+				c = ClassL
+			}
+		case t.IsGuarded():
+			if c < ClassG {
+				c = ClassG
+			}
+		default:
+			return ClassTGD
+		}
+	}
+	return c
+}
+
+// Schema returns sch(Σ): the distinct predicates occurring in the set,
+// sorted by name then arity.
+func (s *Set) Schema() []logic.Predicate {
+	seen := make(map[logic.Predicate]bool)
+	var out []logic.Predicate
+	for _, t := range s.TGDs {
+		for _, a := range append(append([]*logic.Atom{}, t.Body...), t.Head...) {
+			if !seen[a.Pred] {
+				seen[a.Pred] = true
+				out = append(out, a.Pred)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// Arity returns ar(Σ): the maximum predicate arity, or 0 for the empty set.
+func (s *Set) Arity() int {
+	max := 0
+	for _, p := range s.Schema() {
+		if p.Arity > max {
+			max = p.Arity
+		}
+	}
+	return max
+}
+
+// AtomCount returns |atoms(Σ)|: the number of distinct atoms occurring in
+// the TGDs of the set (atoms are distinct when their renderings differ,
+// which matches the paper's convention of TGDs not sharing variables).
+func (s *Set) AtomCount() int {
+	seen := make(map[string]bool)
+	for i, t := range s.TGDs {
+		for _, a := range append(append([]*logic.Atom{}, t.Body...), t.Head...) {
+			// Atoms of distinct TGDs are distinct by the no-shared-variable
+			// convention even if they render identically.
+			seen[a.Key()+"#"+string(rune(i))] = true
+		}
+	}
+	return len(seen)
+}
+
+// Norm returns the paper's ‖Σ‖ = |atoms(Σ)|·|sch(Σ)|·ar(Σ).
+func (s *Set) Norm() int {
+	return s.AtomCount() * len(s.Schema()) * s.Arity()
+}
+
+// String renders the set one TGD per line.
+func (s *Set) String() string {
+	parts := make([]string, len(s.TGDs))
+	for i, t := range s.TGDs {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\n")
+}

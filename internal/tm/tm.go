@@ -1,0 +1,249 @@
+// Package tm implements deterministic Turing machines and the Appendix A
+// reduction of the paper: a database D_M and a fixed (machine-independent)
+// TGD set Σ★ such that M halts on the empty input if and only if
+// chase(D_M, Σ★) is finite. The reduction strengthens the undecidability
+// of ChTrm(TGD) to data complexity (Proposition 4.2).
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Direction of a head move.
+type Direction int
+
+const (
+	// Left moves the head one cell left.
+	Left Direction = iota
+	// Stay keeps the head in place.
+	Stay
+	// Right moves the head one cell right.
+	Right
+)
+
+// Tape-alphabet symbols with fixed roles. The begin and end markers and
+// the blank are always part of the alphabet.
+const (
+	Begin = "⊲"
+	End   = "⊳"
+	Blank = "⊔"
+)
+
+type transKey struct {
+	state  string
+	symbol string
+}
+
+// Action is the effect of a transition: next state, written symbol, move.
+type Action struct {
+	State string
+	Write string
+	Move  Direction
+}
+
+// Machine is a deterministic Turing machine. A missing transition halts
+// the machine. Machines are assumed well-behaved: they never move left of
+// the begin marker and never overwrite the markers.
+type Machine struct {
+	Name    string
+	Start   string
+	states  map[string]bool
+	symbols map[string]bool
+	trans   map[transKey]Action
+}
+
+// New returns a machine with the given name and start state.
+func New(name, start string) *Machine {
+	m := &Machine{
+		Name:    name,
+		Start:   start,
+		states:  map[string]bool{start: true},
+		symbols: map[string]bool{Begin: true, End: true, Blank: true},
+		trans:   make(map[transKey]Action),
+	}
+	return m
+}
+
+// Add registers the transition f(state, read) = (next, write, move).
+func (m *Machine) Add(state, read, next, write string, move Direction) *Machine {
+	m.states[state] = true
+	m.states[next] = true
+	m.symbols[read] = true
+	m.symbols[write] = true
+	m.trans[transKey{state, read}] = Action{State: next, Write: write, Move: move}
+	return m
+}
+
+// Run simulates the machine on the empty input for at most maxSteps steps.
+// It returns whether the machine halted and the number of steps taken.
+func (m *Machine) Run(maxSteps int) (halted bool, steps int) {
+	tape := []string{Begin, Blank, End}
+	head := 1
+	state := m.Start
+	for steps = 0; steps < maxSteps; steps++ {
+		act, ok := m.trans[transKey{state, tape[head]}]
+		if !ok {
+			return true, steps
+		}
+		tape[head] = act.Write
+		state = act.State
+		switch act.Move {
+		case Left:
+			// Moving onto the begin marker is allowed; well-behaved
+			// machines define no transition there and halt.
+			if head > 0 {
+				head--
+			}
+		case Right:
+			head++
+			if tape[head] == End {
+				// Extend the tape with a blank before the end marker.
+				tape = append(tape[:head], append([]string{Blank}, tape[head:]...)...)
+			}
+		}
+	}
+	return false, steps
+}
+
+// Database builds D_M: the transition table, the initial configuration on
+// the empty input, and the auxiliary atoms giving Σ★ access to the
+// special constants.
+func (m *Machine) Database() *logic.Instance {
+	db := logic.NewInstance()
+	cst := func(s string) logic.Constant { return logic.Constant(s) }
+	dirName := map[Direction]logic.Constant{Left: "dirL", Stay: "dirS", Right: "dirR"}
+	for k, a := range m.trans {
+		db.Add(logic.MakeAtom("Trans",
+			cst("q_"+k.state), cst("s_"+k.symbol),
+			cst("q_"+a.State), cst("s_"+a.Write), dirName[a.Move]))
+	}
+	// Initial configuration ⊲ ⊔ ⊳ with the head on the blank.
+	c0, c1, c2, c3 := cst("cell0"), cst("cell1"), cst("cell2"), cst("cell3")
+	db.Add(logic.MakeAtom("Tape", c0, cst("s_"+Begin), c1))
+	db.Add(logic.MakeAtom("Tape", c1, cst("s_"+Blank), c2))
+	db.Add(logic.MakeAtom("Head", c1, cst("q_"+m.Start), c2))
+	db.Add(logic.MakeAtom("Tape", c2, cst("s_"+End), c3))
+	db.Add(logic.MakeAtom("LDir", dirName[Left]))
+	db.Add(logic.MakeAtom("SDir", dirName[Stay]))
+	db.Add(logic.MakeAtom("RDir", dirName[Right]))
+	db.Add(logic.MakeAtom("Blank", cst("s_"+Blank)))
+	db.Add(logic.MakeAtom("End", cst("s_"+End)))
+	for s := range m.symbols {
+		if s != Begin && s != End {
+			db.Add(logic.MakeAtom("NormSymb", cst("s_"+s)))
+		}
+	}
+	return db
+}
+
+// FixedSigma returns the machine-independent TGD set Σ★ of Appendix A.
+// It simulates the computation of any machine encoded in the database as a
+// grid of configurations linked by the "vertical" edge predicates L and R.
+func FixedSigma() *tgds.Set {
+	vr := func(s string) logic.Variable { return logic.Variable(s) }
+	x1, x2, x3, x4, x5 := vr("X1"), vr("X2"), vr("X3"), vr("X4"), vr("X5")
+	x, y, z, w, u := vr("X"), vr("Y"), vr("Z"), vr("W"), vr("U")
+	xp, yp, zp, wp := vr("Xp"), vr("Yp"), vr("Zp"), vr("Wp")
+	a := logic.MakeAtom
+
+	set := tgds.NewSet()
+	trans := a("Trans", x1, x2, x3, x4, x5)
+
+	// Right move, head not at the end of the tape.
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{
+			trans, a("RDir", x5), a("NormSymb", w),
+			a("Head", x, x1, y), a("Tape", x, x2, y), a("Tape", y, w, z),
+		},
+		[]*logic.Atom{
+			a("L", x, xp), a("R", y, yp), a("R", z, zp),
+			a("Tape", xp, x4, yp), a("Head", yp, x3, zp), a("Tape", yp, w, zp),
+		},
+	))
+	// Right move, head at the end of the tape: extend with a blank.
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{
+			trans, a("RDir", x5), a("Blank", u), a("End", w),
+			a("Head", x, x1, y), a("Tape", x, x2, y), a("Tape", y, w, z),
+		},
+		[]*logic.Atom{
+			a("L", x, xp), a("R", y, yp), a("R", z, zp),
+			a("Tape", xp, x4, yp), a("Head", yp, x3, zp),
+			a("Tape", yp, u, zp), a("Tape", zp, w, wp),
+		},
+	))
+	// Left move (machines never read beyond the first cell).
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{
+			trans, a("LDir", x5),
+			a("Tape", x, w, y), a("Head", y, x1, z), a("Tape", y, x2, z),
+		},
+		[]*logic.Atom{
+			a("R", x, xp), a("R", y, yp), a("L", z, zp),
+			a("Head", xp, x3, yp), a("Tape", xp, w, yp), a("Tape", yp, x4, zp),
+		},
+	))
+	// Stay.
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{
+			trans, a("SDir", x5),
+			a("Head", x, x1, y), a("Tape", x, x2, y),
+		},
+		[]*logic.Atom{
+			a("L", x, xp), a("R", y, yp),
+			a("Head", xp, x3, yp), a("Tape", xp, x4, yp),
+		},
+	))
+	// Copy the untouched cells to the left and to the right of the head.
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{a("Tape", x, z, y), a("L", y, yp)},
+		[]*logic.Atom{a("L", x, xp), a("Tape", xp, z, yp)},
+	))
+	set.Add(tgds.MustNew(
+		[]*logic.Atom{a("Tape", x, z, y), a("R", x, xp)},
+		[]*logic.Atom{a("Tape", xp, z, yp), a("R", y, yp)},
+	))
+	return set
+}
+
+// Sample machines used by examples, tests and experiments.
+
+// HaltImmediately has no transitions: it halts in zero steps.
+func HaltImmediately() *Machine { return New("halt-immediately", "q0") }
+
+// WriteAndHalt writes k marks moving right, then halts.
+func WriteAndHalt(k int) *Machine {
+	m := New(fmt.Sprintf("write-%d-and-halt", k), "q0")
+	for i := 0; i < k; i++ {
+		m.Add(fmt.Sprintf("q%d", i), Blank, fmt.Sprintf("q%d", i+1), "a", Right)
+	}
+	return m
+}
+
+// BounceAndHalt writes k marks moving right, returns leftwards over them,
+// and halts on the begin marker (no transition is defined there).
+func BounceAndHalt(k int) *Machine {
+	m := WriteAndHalt(k)
+	m.Name = fmt.Sprintf("bounce-%d-and-halt", k)
+	last := fmt.Sprintf("q%d", k)
+	m.Add(last, Blank, "back", Blank, Left)
+	m.Add("back", "a", "back", "a", Left)
+	return m
+}
+
+// LoopForever stays in place rewriting the blank forever.
+func LoopForever() *Machine {
+	m := New("loop-forever", "q0")
+	m.Add("q0", Blank, "q0", Blank, Stay)
+	return m
+}
+
+// RightForever marches right forever over blanks.
+func RightForever() *Machine {
+	m := New("right-forever", "q0")
+	m.Add("q0", Blank, "q0", Blank, Right)
+	return m
+}

@@ -1,0 +1,103 @@
+package tm
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/logic"
+)
+
+func TestDirectSimulation(t *testing.T) {
+	if halted, steps := HaltImmediately().Run(100); !halted || steps != 0 {
+		t.Fatalf("halt-immediately: halted=%v steps=%d", halted, steps)
+	}
+	if halted, steps := WriteAndHalt(3).Run(100); !halted || steps != 3 {
+		t.Fatalf("write-3: halted=%v steps=%d", halted, steps)
+	}
+	if halted, _ := BounceAndHalt(2).Run(100); !halted {
+		t.Fatal("bounce-2 must halt")
+	}
+	if halted, _ := LoopForever().Run(100); halted {
+		t.Fatal("loop must not halt")
+	}
+	if halted, _ := RightForever().Run(100); halted {
+		t.Fatal("right-forever must not halt")
+	}
+}
+
+func TestDatabaseEncoding(t *testing.T) {
+	db := WriteAndHalt(1).Database()
+	if !db.IsDatabase() {
+		t.Fatal("encoding must be a database")
+	}
+	head := logic.Predicate{Name: "Head", Arity: 3}
+	if len(db.ByPred(head)) != 1 {
+		t.Fatal("initial head atom missing")
+	}
+	trans := logic.Predicate{Name: "Trans", Arity: 5}
+	if len(db.ByPred(trans)) != 1 {
+		t.Fatalf("transition table = %v", db.ByPred(trans))
+	}
+}
+
+func TestFixedSigmaIsMachineIndependent(t *testing.T) {
+	s1 := FixedSigma()
+	s2 := FixedSigma()
+	if s1.String() != s2.String() {
+		t.Fatal("Σ★ must be deterministic")
+	}
+	if s1.Len() != 6 {
+		t.Fatalf("Σ★ has %d TGDs, want 6", s1.Len())
+	}
+	// Σ★ must be constant-free: the reduction keeps all machine-specific
+	// information in the database.
+	for _, tgd := range s1.TGDs {
+		for _, atoms := range [][]*logic.Atom{tgd.Body, tgd.Head} {
+			for _, a := range atoms {
+				for _, term := range a.Args {
+					if _, ok := term.(logic.Constant); ok {
+						t.Fatalf("Σ★ mentions constant in %v", tgd)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The Appendix A equivalence, in its executable form: for halting
+// machines the chase of D_M with Σ★ terminates; for looping machines it
+// exceeds any budget.
+func TestReductionHaltingDirection(t *testing.T) {
+	sigma := FixedSigma()
+	for _, m := range []*Machine{HaltImmediately(), WriteAndHalt(1), WriteAndHalt(2), BounceAndHalt(2)} {
+		res := chase.Run(m.Database(), sigma, chase.Options{MaxAtoms: 300000})
+		if !res.Terminated {
+			t.Fatalf("machine %s halts but chase exceeded budget (%d atoms)", m.Name, res.Instance.Len())
+		}
+	}
+}
+
+func TestReductionLoopingDirection(t *testing.T) {
+	sigma := FixedSigma()
+	for _, m := range []*Machine{LoopForever(), RightForever()} {
+		res := chase.Run(m.Database(), sigma, chase.Options{MaxAtoms: 20000})
+		if res.Terminated {
+			t.Fatalf("machine %s loops but chase terminated with %d atoms", m.Name, res.Instance.Len())
+		}
+	}
+}
+
+// Longer computations produce larger chases: the reduction tracks the
+// machine's work tape.
+func TestReductionScalesWithComputation(t *testing.T) {
+	sigma := FixedSigma()
+	r1 := chase.Run(WriteAndHalt(1).Database(), sigma, chase.Options{MaxAtoms: 500000})
+	r2 := chase.Run(WriteAndHalt(3).Database(), sigma, chase.Options{MaxAtoms: 500000})
+	if !r1.Terminated || !r2.Terminated {
+		t.Fatal("both machines halt")
+	}
+	if r2.Instance.Len() <= r1.Instance.Len() {
+		t.Fatalf("longer computation must yield a larger chase: %d vs %d",
+			r1.Instance.Len(), r2.Instance.Len())
+	}
+}
