@@ -13,4 +13,13 @@
 // README.md for a tour, DESIGN.md for the system inventory and the
 // per-experiment index, and EXPERIMENTS.md for recorded paper-vs-measured
 // results.
+//
+// The data plane is integer-interned: internal/logic maintains a
+// process-wide symbol table mapping every term and predicate to a dense
+// int32 id, atoms carry their id tuple with a precomputed 64-bit hash,
+// instances index by ids, and the chase keys triggers and canonical nulls
+// by interned integer tuples. Strings appear only at the boundaries
+// (internal/parser and rendering) and as the cross-run canonical identity
+// (Instance.CanonicalKey); see the internal/logic package comment for the
+// invariants.
 package repro

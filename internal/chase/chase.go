@@ -17,10 +17,6 @@
 package chase
 
 import (
-	"sort"
-	"strconv"
-	"strings"
-
 	"repro/internal/logic"
 	"repro/internal/tgds"
 )
@@ -107,7 +103,7 @@ func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 		opts:    opts,
 		inst:    db.Clone(),
 		nulls:   logic.NewNullFactory(),
-		fired:   make(map[string]bool),
+		fired:   logic.NewTupleInterner(),
 		initial: db.Len(),
 	}
 	if opts.TrackForest {
@@ -123,18 +119,44 @@ func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 }
 
 type pendingTrigger struct {
-	tgd   *tgds.TGD
-	hFull logic.Substitution // full homomorphism (restricted variant needs it)
-	hFr   logic.Substitution // frontier restriction
-	guard *logic.Atom        // image of the guard (forest tracking)
+	tgd *tgds.TGD
+	// tgdIdx is the TGD's index within the run's Set; trigger and null
+	// keys use it (rather than the mutable TGD.ID) as the TGD component.
+	tgdIdx int
+	// frImgs and frIDs are the images of the TGD's frontier variables and
+	// their interned ids (aligned with Frontier()); the frontier
+	// restriction h|fr as flat slices instead of a map.
+	frImgs []logic.Term
+	frIDs  []int32
+	// keyIDs are the interned ids of the images of the trigger's null-key
+	// variables: frIDs for the semi-oblivious and restricted chases (the
+	// slice is shared), all body variables (sorted) for the oblivious
+	// chase.
+	keyIDs []int32
+	guard  *logic.Atom // image of the guard (forest tracking)
+}
+
+// frontierSub materializes h|fr as a Substitution.
+func (p pendingTrigger) frontierSub() logic.Substitution {
+	mu := make(logic.Substitution, len(p.frImgs))
+	for i, x := range p.tgd.Frontier() {
+		mu[x] = p.frImgs[i]
+	}
+	return mu
 }
 
 type engine struct {
-	sigma      *tgds.Set
-	opts       Options
-	inst       *logic.Instance
-	nulls      *logic.NullFactory
-	fired      map[string]bool
+	sigma *tgds.Set
+	opts  Options
+	inst  *logic.Instance
+	nulls *logic.NullFactory
+	// fired interns the integer trigger keys (TGD id, key-variable image
+	// ids); a trigger fires at most once per interned tuple.
+	fired      *logic.TupleInterner
+	keyBuf     []int32       // reusable tuple-building buffer
+	matcher    logic.Matcher // reusable compiled-body buffers
+	heads      [][]headAtom  // per-TGD compiled head programs, by TGD id
+	nullBuf    []*logic.Null // reusable per-trigger null scratch
 	forest     *Forest
 	derivation *Derivation
 	initial    int
@@ -178,31 +200,55 @@ func (e *engine) run() bool {
 
 // collect gathers the triggers of this round. In the first round all
 // homomorphisms are considered; afterwards only those touching the delta.
+// Trigger identity is an interned integer tuple (TGD id, key-variable
+// image ids), so duplicate triggers are rejected without materializing a
+// substitution or building a string key.
 func (e *engine) collect(deltaStart int) []pendingTrigger {
 	var pending []pendingTrigger
 	ds := deltaStart
 	if e.rounds == 1 || e.opts.NoSemiNaive {
 		ds = -1
 	}
-	for _, t := range e.sigma.TGDs {
-		t := t
-		logic.MatchAll(t.Body, e.inst, ds, func(h logic.Substitution) bool {
+	for ti, t := range e.sigma.TGDs {
+		ti, t := ti, t
+		// Fire at most once per frontier assignment for the semi-oblivious
+		// chase, per full homomorphism for the oblivious and restricted
+		// chases. Keys and caches are indexed by the TGD's position in
+		// this run's set, not TGD.ID: the ID field is mutated by any
+		// Set.Add a shared *TGD later participates in.
+		fireVars := t.FrontierIDs()
+		if e.opts.Variant != SemiOblivious {
+			fireVars = t.SortedBodyVarIDs()
+		}
+		e.matcher.MatchAllExt(t.Body, e.inst, ds, func(m *logic.Match) bool {
 			e.considered++
-			key := e.fireKey(t, h)
-			if e.fired[key] {
+			e.keyBuf = append(e.keyBuf[:0], int32(ti))
+			e.keyBuf = m.AppendImageIDs(e.keyBuf, fireVars)
+			if _, fresh := e.fired.Intern(e.keyBuf); !fresh {
 				return true
 			}
-			e.fired[key] = true
-			p := pendingTrigger{tgd: t, hFr: h.Restrict(t.Frontier())}
-			if e.opts.Variant == Restricted {
-				p.hFull = h.Clone()
+			p := pendingTrigger{
+				tgd:    t,
+				tgdIdx: ti,
+				frImgs: m.AppendImageTerms(nil, t.FrontierIDs()),
 			}
-			if e.opts.Variant == Oblivious {
-				// The null key must capture the full homomorphism.
-				p.hFull = h.Clone()
+			switch e.opts.Variant {
+			case SemiOblivious:
+				// The fire key just built is (TGD id, frontier image ids):
+				// its tail is exactly frIDs.
+				p.frIDs = append([]int32(nil), e.keyBuf[1:]...)
+				p.keyIDs = p.frIDs
+			case Oblivious:
+				// The null key must capture the full homomorphism; the fire
+				// key's tail is exactly those sorted body-variable images.
+				p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
+				p.keyIDs = append([]int32(nil), e.keyBuf[1:]...)
+			default: // Restricted: fires per full homomorphism, nulls per frontier.
+				p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
+				p.keyIDs = p.frIDs
 			}
 			if e.forest != nil {
-				p.guard = e.inst.Canonical(h.ApplyAtom(t.Guard()))
+				p.guard = e.inst.Canonical(m.Substitution().ApplyAtom(t.Guard()))
 			}
 			pending = append(pending, p)
 			return true
@@ -243,7 +289,7 @@ func (e *engine) apply(pending []pendingTrigger) int {
 		if e.derivation != nil && fired {
 			e.derivation.Steps = append(e.derivation.Steps, Step{
 				TGD:      p.tgd,
-				Frontier: p.hFr.Clone(),
+				Frontier: p.frontierSub(),
 				Produced: produced,
 			})
 		}
@@ -254,70 +300,110 @@ func (e *engine) apply(pending []pendingTrigger) int {
 // headSatisfied reports whether some extension of h|fr maps the head into
 // the instance (the restricted chase's activity test).
 func (e *engine) headSatisfied(p pendingTrigger) bool {
-	return logic.ExtendOne(p.tgd.Head, e.inst, p.hFr) != nil
+	return logic.ExtendOne(p.tgd.Head, e.inst, p.frontierSub()) != nil
+}
+
+// Head instantiation is precompiled per TGD: every head-atom argument is
+// either a ground term of the TGD, the image of the fi-th frontier
+// variable, or the null invented for the zi-th existential variable. The
+// apply loop then assembles result(σ, h) by copying terms and their
+// already-interned ids — no substitution map, no re-interning.
+const (
+	headGround   = iota // emit the TGD's own term
+	headFrontier        // emit the image of frontier variable #idx
+	headNull            // emit the null for existential variable #idx
+)
+
+type headArg struct {
+	src  int8
+	idx  int32      // frontier or existential index
+	term logic.Term // ground term
+	id   int32      // ground term id
+}
+
+type headAtom struct {
+	pred logic.Predicate
+	pid  int32
+	args []headArg
+}
+
+func compileHead(t *tgds.TGD) []headAtom {
+	frIDs := t.FrontierIDs()
+	exIDs := make([]int32, len(t.Existential()))
+	for i, z := range t.Existential() {
+		exIDs[i] = logic.IDOf(z)
+	}
+	prog := make([]headAtom, len(t.Head))
+	for ai, a := range t.Head {
+		ha := headAtom{pred: a.Pred, pid: a.PredID(), args: make([]headArg, len(a.Args))}
+		for i, trm := range a.Args {
+			id := a.ArgID(i)
+			if id >= 0 {
+				ha.args[i] = headArg{src: headGround, term: trm, id: id}
+			} else if fi := indexOf32(frIDs, id); fi >= 0 {
+				ha.args[i] = headArg{src: headFrontier, idx: int32(fi)}
+			} else {
+				// A head variable is frontier or existential by definition.
+				ha.args[i] = headArg{src: headNull, idx: int32(indexOf32(exIDs, id))}
+			}
+		}
+		prog[ai] = ha
+	}
+	return prog
+}
+
+func indexOf32(ids []int32, id int32) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // instantiateHead computes result(σ, h): head atoms with frontier
 // variables replaced by their images and existential variables by
-// canonical nulls.
+// canonical nulls. The canonical name ⊥^z_{σ, h|fr(σ)} (or the oblivious
+// ⊥^z_{σ, h}) is realized as the interned integer tuple (TGD id,
+// existential index, key-variable image ids).
 func (e *engine) instantiateHead(p pendingTrigger) []*logic.Atom {
-	mu := p.hFr.Clone()
-	for _, z := range p.tgd.Existential() {
-		key := e.nullKey(p, z)
-		depth := 1
-		for _, x := range p.tgd.Frontier() {
-			if d := logic.TermDepth(mu[x]); d+1 > depth {
-				depth = d + 1
+	if e.heads == nil {
+		e.heads = make([][]headAtom, len(e.sigma.TGDs))
+	}
+	prog := e.heads[p.tgdIdx]
+	if prog == nil {
+		prog = compileHead(p.tgd)
+		e.heads[p.tgdIdx] = prog
+	}
+	depth := 1
+	for _, t := range p.frImgs {
+		if d := logic.TermDepth(t); d+1 > depth {
+			depth = d + 1
+		}
+	}
+	e.nullBuf = e.nullBuf[:0]
+	for zi := range p.tgd.Existential() {
+		e.keyBuf = append(e.keyBuf[:0], int32(p.tgdIdx), int32(zi))
+		e.keyBuf = append(e.keyBuf, p.keyIDs...)
+		n, _ := e.nulls.InternTuple(e.keyBuf, depth)
+		e.nullBuf = append(e.nullBuf, n)
+	}
+	out := make([]*logic.Atom, len(prog))
+	for ai, ha := range prog {
+		args := make([]logic.Term, len(ha.args))
+		ids := make([]int32, len(ha.args))
+		for i, op := range ha.args {
+			switch op.src {
+			case headGround:
+				args[i], ids[i] = op.term, op.id
+			case headFrontier:
+				args[i], ids[i] = p.frImgs[op.idx], p.frIDs[op.idx]
+			default:
+				n := e.nullBuf[op.idx]
+				args[i], ids[i] = n, logic.IDOf(n)
 			}
 		}
-		n, _ := e.nulls.Intern(key, depth)
-		mu[z] = n
-	}
-	out := make([]*logic.Atom, len(p.tgd.Head))
-	for i, a := range p.tgd.Head {
-		out[i] = mu.ApplyAtom(a)
+		out[ai] = logic.NewAtomFromIDs(ha.pred, args, ha.pid, ids)
 	}
 	return out
-}
-
-// fireKey identifies a trigger for at-most-once firing: per frontier
-// assignment for the semi-oblivious chase, per full homomorphism for the
-// oblivious and restricted chases.
-func (e *engine) fireKey(t *tgds.TGD, h logic.Substitution) string {
-	var vars []logic.Variable
-	switch e.opts.Variant {
-	case SemiOblivious:
-		vars = t.Frontier()
-	default:
-		vars = t.BodyVariables()
-		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-	}
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(t.ID))
-	for _, v := range vars {
-		b.WriteByte('\x01')
-		b.WriteString(h[v].Key())
-	}
-	return b.String()
-}
-
-// nullKey realizes the canonical null name ⊥^z_{σ, h|fr(σ)} (or the
-// oblivious ⊥^z_{σ, h}).
-func (e *engine) nullKey(p pendingTrigger, z logic.Variable) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(p.tgd.ID))
-	b.WriteByte('\x02')
-	b.WriteString(string(z))
-	h := p.hFr
-	vars := p.tgd.Frontier()
-	if e.opts.Variant == Oblivious {
-		h = p.hFull
-		vars = p.tgd.BodyVariables()
-		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-	}
-	for _, v := range vars {
-		b.WriteByte('\x01')
-		b.WriteString(h[v].Key())
-	}
-	return b.String()
 }

@@ -62,15 +62,48 @@ func (d *Derivation) Validate(sigma *tgds.Set, final *logic.Instance, terminated
 		}
 		return out
 	}
+	// The replay mints nulls from its own factory, and a null is only the
+	// same term as the run's null if it is the same interned symbol. xlat
+	// maps each recorded null to its replay twin (paired below as replayed
+	// atoms line up with the step's Produced atoms), so later frontiers are
+	// rewritten into replay terms before being checked.
+	xlat := make(map[logic.Term]logic.Term)
+	remap := func(h logic.Substitution) logic.Substitution {
+		out := make(logic.Substitution, len(h))
+		for v, t := range h {
+			if r, ok := xlat[t]; ok {
+				out[v] = r
+			} else {
+				out[v] = t
+			}
+		}
+		return out
+	}
 	for i, step := range d.Steps {
-		if logic.ExtendOne(step.TGD.Body, inst, step.Frontier) == nil {
+		fr := remap(step.Frontier)
+		if logic.ExtendOne(step.TGD.Body, inst, fr) == nil {
 			return fmt.Errorf("chase: step %d: frontier %v does not extend to a body homomorphism", i, step.Frontier)
 		}
 		added := 0
-		for _, a := range resultOf(step.TGD, step.Frontier) {
-			if inst.Add(a) {
-				added++
+		for _, a := range resultOf(step.TGD, fr) {
+			if !inst.Add(a) {
+				continue
 			}
+			if added < len(step.Produced) {
+				po := step.Produced[added]
+				if po.Pred == a.Pred {
+					for j, arg := range a.Args {
+						rn, ok := arg.(*logic.Null)
+						if !ok {
+							continue
+						}
+						if on, ok := po.Args[j].(*logic.Null); ok {
+							xlat[on] = rn
+						}
+					}
+				}
+			}
+			added++
 		}
 		if added != len(step.Produced) {
 			return fmt.Errorf("chase: step %d: replay added %d atoms, step recorded %d", i, added, len(step.Produced))

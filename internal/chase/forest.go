@@ -6,17 +6,17 @@ import "repro/internal/logic"
 // directed trees rooted at the database atoms, where the parent of an atom
 // produced by a trigger (σ, h) is h(guard(σ)). It supports the gtree and
 // gtree_i measurements of Lemma 5.1.
+//
+// The forest is keyed by the instance's canonical atom pointers (the
+// engine only ever records atoms it has added), so queries should pass
+// atoms obtained from the result instance or the forest itself.
 type Forest struct {
 	roots  []*logic.Atom
-	parent map[string]*logic.Atom // child key -> parent atom
-	atoms  map[string]*logic.Atom // child key -> child atom
+	parent map[*logic.Atom]*logic.Atom // child -> parent
 }
 
 func newForest(roots []*logic.Atom) *Forest {
-	f := &Forest{
-		parent: make(map[string]*logic.Atom),
-		atoms:  make(map[string]*logic.Atom),
-	}
+	f := &Forest{parent: make(map[*logic.Atom]*logic.Atom)}
 	f.roots = append(f.roots, roots...)
 	return f
 }
@@ -25,9 +25,8 @@ func (f *Forest) setParent(child, parent *logic.Atom) {
 	if parent == nil {
 		return
 	}
-	if _, ok := f.parent[child.Key()]; !ok {
-		f.parent[child.Key()] = parent
-		f.atoms[child.Key()] = child
+	if _, ok := f.parent[child]; !ok {
+		f.parent[child] = parent
 	}
 }
 
@@ -35,12 +34,12 @@ func (f *Forest) setParent(child, parent *logic.Atom) {
 func (f *Forest) Roots() []*logic.Atom { return f.roots }
 
 // Parent returns the parent of the atom in the forest, or nil for roots.
-func (f *Forest) Parent(a *logic.Atom) *logic.Atom { return f.parent[a.Key()] }
+func (f *Forest) Parent(a *logic.Atom) *logic.Atom { return f.parent[a] }
 
 // Root returns the root of the tree containing the atom.
 func (f *Forest) Root(a *logic.Atom) *logic.Atom {
 	for {
-		p := f.parent[a.Key()]
+		p := f.parent[a]
 		if p == nil {
 			return a
 		}
@@ -57,7 +56,7 @@ func (f *Forest) Tree(root *logic.Atom) []*logic.Atom {
 		a := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, a)
-		stack = append(stack, idx[a.Key()]...)
+		stack = append(stack, idx[a]...)
 	}
 	return out
 }
@@ -76,11 +75,10 @@ func (f *Forest) TreeSizesByDepth(root *logic.Atom) []int {
 	return sizes
 }
 
-func (f *Forest) childIndex() map[string][]*logic.Atom {
-	idx := make(map[string][]*logic.Atom, len(f.parent))
-	for key, child := range f.atoms {
-		p := f.parent[key]
-		idx[p.Key()] = append(idx[p.Key()], child)
+func (f *Forest) childIndex() map[*logic.Atom][]*logic.Atom {
+	idx := make(map[*logic.Atom][]*logic.Atom, len(f.parent))
+	for child, p := range f.parent {
+		idx[p] = append(idx[p], child)
 	}
 	return idx
 }

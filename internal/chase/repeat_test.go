@@ -1,0 +1,60 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// Running the same chase twice must give the same result atom-for-atom
+// (compared by CanonicalKey, which bridges the two runs' null factories).
+// This is the regression test for the historical aliasing hazard in the
+// oblivious trigger keying: the engine sorted the slice returned by
+// TGD.BodyVariables in place, which is only safe because BodyVariables
+// returns a fresh copy — were the memoized slice to leak, the first run's
+// sort would corrupt variable order for the second.
+func TestChaseRepeatableAcrossRuns(t *testing.T) {
+	dbSrc := `e(a, b). e(b, c). e(c, a). s(a).`
+	rulesSrc := `
+		e(X, Y), s(X) -> ∃Z m(Y, Z), s(Y).
+		m(X, Z) -> ∃W m(Z, W).
+		e(X, Y) -> p(Y, X).
+	`
+	for _, v := range []Variant{SemiOblivious, Oblivious, Restricted} {
+		r1 := run(t, dbSrc, rulesSrc, Options{Variant: v, MaxAtoms: 200})
+		r2 := run(t, dbSrc, rulesSrc, Options{Variant: v, MaxAtoms: 200})
+		if r1.Instance.CanonicalKey() != r2.Instance.CanonicalKey() {
+			t.Errorf("%v chase differs across identical runs:\n%v\nvs\n%v", v, r1.Instance, r2.Instance)
+		}
+		if r1.Stats != r2.Stats {
+			t.Errorf("%v chase stats differ across identical runs: %+v vs %+v", v, r1.Stats, r2.Stats)
+		}
+	}
+}
+
+// BodyVariables must return a fresh slice on every call: callers
+// (historically the oblivious fireKey/nullKey) sort it in place.
+func TestBodyVariablesReturnsFreshSlice(t *testing.T) {
+	rules, err := parser.ParseRules(`e(Z, Y), e(Y, X) -> ∃W e(X, W).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := rules.TGDs[0]
+	first := tg.BodyVariables()
+	want := append([]logic.Variable{}, first...)
+	// Clobber the returned slice; a leaked memoized slice would corrupt
+	// subsequent calls.
+	for i := range first {
+		first[i] = "CLOBBERED"
+	}
+	second := tg.BodyVariables()
+	if len(second) != len(want) {
+		t.Fatalf("BodyVariables length changed: %v vs %v", second, want)
+	}
+	for i := range want {
+		if second[i] != want[i] {
+			t.Fatalf("BodyVariables changed after caller mutation: %v vs %v", second, want)
+		}
+	}
+}

@@ -95,7 +95,7 @@ func (q UCQ) EvalEquality(db *logic.Instance) bool {
 	return q.eval(db, func(args []logic.Term, pattern []int) bool {
 		for i := range pattern {
 			for j := i + 1; j < len(pattern); j++ {
-				if pattern[i] == pattern[j] && args[i].Key() != args[j].Key() {
+				if pattern[i] == pattern[j] && logic.IDOf(args[i]) != logic.IDOf(args[j]) {
 					return false
 				}
 			}

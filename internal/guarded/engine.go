@@ -92,13 +92,13 @@ func (e *Engine) expandState(s *state) bool {
 // Derivations with existential witnesses spawn canonical child nodes whose
 // closures are looked up (and seeded on demand); atoms of a child closure
 // that mention only own terms are lifted back.
-func (e *Engine) deriveOver(atoms *logic.Instance, keep map[string]bool) []*logic.Atom {
+func (e *Engine) deriveOver(atoms *logic.Instance, keep map[int32]bool) []*logic.Atom {
 	isOwn := func(t logic.Term) bool {
 		if _, ph := t.(placeholder); ph {
 			return false
 		}
 		if keep != nil {
-			return keep[t.Key()]
+			return keep[logic.IDOf(t)]
 		}
 		return true
 	}
@@ -154,13 +154,13 @@ func (e *Engine) deriveOver(atoms *logic.Instance, keep map[string]bool) []*logi
 // collectOver gathers the atoms of the instance plus the extra atoms whose
 // terms all lie within the guard atom's domain.
 func collectOver(in *logic.Instance, extra []*logic.Atom, guard *logic.Atom) []*logic.Atom {
-	dom := make(map[string]bool, len(guard.Args))
-	for _, t := range guard.Args {
-		dom[t.Key()] = true
+	dom := make(map[int32]bool, len(guard.Args))
+	for i := range guard.Args {
+		dom[guard.ArgID(i)] = true
 	}
 	within := func(a *logic.Atom) bool {
-		for _, t := range a.Args {
-			if !dom[t.Key()] {
+		for i := range a.Args {
+			if !dom[a.ArgID(i)] {
 				return false
 			}
 		}
@@ -197,9 +197,9 @@ func Complete(in *logic.Instance, sigma *tgds.Set) (*logic.Instance, error) {
 // Complete is the memoizing variant of the package-level Complete.
 func (e *Engine) Complete(in *logic.Instance) *logic.Instance {
 	c := in.Clone()
-	keep := make(map[string]bool)
+	keep := make(map[int32]bool)
 	for _, t := range in.ActiveDomain() {
-		keep[t.Key()] = true
+		keep[logic.IDOf(t)] = true
 	}
 	for {
 		additions := e.deriveOver(c, keep)

@@ -112,16 +112,17 @@ func makeType(guard *logic.Atom, atoms []*logic.Atom) *Type {
 	return &Type{Guard: guard, Atoms: sorted, key: b.String()}
 }
 
-// Renaming maps original terms to canonical integers and back.
+// Renaming maps original terms (by interned symbol id) to canonical
+// integers and back.
 type Renaming struct {
-	fwd map[string]logic.Fresh
+	fwd map[int32]logic.Fresh
 	inv map[logic.Fresh]logic.Term
 }
 
 // Forward returns the canonical integer for the term; the boolean reports
 // whether the term is in the renaming's domain.
 func (r *Renaming) Forward(t logic.Term) (logic.Fresh, bool) {
-	f, ok := r.fwd[t.Key()]
+	f, ok := r.fwd[logic.IDOf(t)]
 	return f, ok
 }
 
@@ -155,29 +156,29 @@ func (r *Renaming) InvertAtom(a *logic.Atom) (*logic.Atom, bool) {
 // containing terms outside dom(guard) are rejected by panicking: call
 // sites filter beforehand.
 func Canonicalize(guard *logic.Atom, atoms []*logic.Atom) (*Type, *Renaming) {
-	r := &Renaming{fwd: make(map[string]logic.Fresh), inv: make(map[logic.Fresh]logic.Term)}
+	r := &Renaming{fwd: make(map[int32]logic.Fresh), inv: make(map[logic.Fresh]logic.Term)}
 	next := 1
-	rename := func(t logic.Term) logic.Fresh {
-		if f, ok := r.fwd[t.Key()]; ok {
+	rename := func(t logic.Term, id int32) logic.Fresh {
+		if f, ok := r.fwd[id]; ok {
 			return f
 		}
 		f := logic.Fresh(next)
 		next++
-		r.fwd[t.Key()] = f
+		r.fwd[id] = f
 		r.inv[f] = t
 		return f
 	}
 	gargs := make([]logic.Term, len(guard.Args))
 	for i, t := range guard.Args {
-		gargs[i] = rename(t)
+		gargs[i] = rename(t, guard.ArgID(i))
 	}
 	cguard := logic.NewAtom(guard.Pred, gargs...)
 	catoms := make([]*logic.Atom, 0, len(atoms))
 	for _, a := range atoms {
 		args := make([]logic.Term, len(a.Args))
 		ok := true
-		for i, t := range a.Args {
-			f, in := r.fwd[t.Key()]
+		for i := range a.Args {
+			f, in := r.fwd[a.ArgID(i)]
 			if !in {
 				ok = false
 				break
@@ -195,15 +196,15 @@ func Canonicalize(guard *logic.Atom, atoms []*logic.Atom) (*Type, *Renaming) {
 // AtomsOver returns the atoms of the instance whose terms all occur in the
 // given atom's domain (the candidate type atoms of α).
 func AtomsOver(in *logic.Instance, guard *logic.Atom) []*logic.Atom {
-	dom := make(map[string]bool)
-	for _, t := range guard.Args {
-		dom[t.Key()] = true
+	dom := make(map[int32]bool)
+	for i := range guard.Args {
+		dom[guard.ArgID(i)] = true
 	}
 	var out []*logic.Atom
 	for _, a := range in.Atoms() {
 		ok := true
-		for _, t := range a.Args {
-			if !dom[t.Key()] {
+		for i := range a.Args {
+			if !dom[a.ArgID(i)] {
 				ok = false
 				break
 			}

@@ -40,12 +40,16 @@ func Positions(p Predicate) []Position {
 }
 
 // Atom is a predicate applied to a tuple of terms. Atoms are immutable
-// after construction; the identity key is precomputed. Two atoms denote
-// the same atom iff their keys are equal.
+// after construction; identity is the interned (predicate, term ids)
+// tuple, with a precomputed 64-bit hash for indexing. The string Key is
+// derived lazily and only for presentation and cross-table comparison.
 type Atom struct {
 	Pred Predicate
 	Args []Term
-	key  string
+	pid  int32   // interned predicate id
+	ids  []int32 // interned term ids, aligned with Args
+	hash uint64
+	key  string // lazily built by Key; not synchronized (single-goroutine use)
 }
 
 // NewAtom constructs an atom. It panics if the number of arguments does
@@ -54,15 +58,8 @@ func NewAtom(pred Predicate, args ...Term) *Atom {
 	if len(args) != pred.Arity {
 		panic(fmt.Sprintf("logic: atom %s constructed with %d arguments", pred, len(args)))
 	}
-	var b strings.Builder
-	b.WriteString(pred.Name)
-	b.WriteByte('\x00')
-	b.WriteString(strconv.Itoa(pred.Arity))
-	for _, t := range args {
-		b.WriteByte('\x01')
-		b.WriteString(t.Key())
-	}
-	return &Atom{Pred: pred, Args: args, key: b.String()}
+	pid, ids, hash := internAtom(pred, args)
+	return &Atom{Pred: pred, Args: args, pid: pid, ids: ids, hash: hash}
 }
 
 // MakeAtom constructs an atom for a fresh predicate derived from a name
@@ -71,14 +68,54 @@ func MakeAtom(name string, args ...Term) *Atom {
 	return NewAtom(Predicate{Name: name, Arity: len(args)}, args...)
 }
 
-// Key returns the identity key of the atom.
-func (a *Atom) Key() string { return a.key }
+// NewAtomFromIDs constructs an atom from terms whose interned ids the
+// caller already holds — typically assembled from the arguments of other
+// atoms, as in the chase's head instantiation. pid must be PredIDOf(pred)
+// and ids[i] must be IDOf(args[i]); nothing is validated, and the caller
+// must not retain or modify args or ids afterwards.
+func NewAtomFromIDs(pred Predicate, args []Term, pid int32, ids []int32) *Atom {
+	return &Atom{Pred: pred, Args: args, pid: pid, ids: ids, hash: hashAtom(pid, ids)}
+}
+
+// Key returns the identity key of the atom (predicate plus term keys). It
+// identifies the atom across symbol tables and processes; within one
+// process, prefer Equal or the instance indexes, which compare interned
+// ids instead.
+func (a *Atom) Key() string {
+	if a.key == "" {
+		var b strings.Builder
+		b.WriteString(a.Pred.Name)
+		b.WriteByte('\x00')
+		b.WriteString(strconv.Itoa(a.Pred.Arity))
+		for _, t := range a.Args {
+			b.WriteByte('\x01')
+			b.WriteString(t.Key())
+		}
+		a.key = b.String()
+	}
+	return a.key
+}
+
+// PredID returns the interned id of the atom's predicate.
+func (a *Atom) PredID() int32 { return a.pid }
+
+// ArgID returns the interned id of the i-th argument.
+func (a *Atom) ArgID(i int) int32 { return a.ids[i] }
+
+// Hash returns the atom's precomputed 64-bit identity hash.
+func (a *Atom) Hash() uint64 { return a.hash }
+
+// sameAtom reports id-tuple equality; callers have typically already
+// matched hashes through a bucket lookup.
+func (a *Atom) sameAtom(b *Atom) bool {
+	return a.pid == b.pid && int32sEqual(a.ids, b.ids)
+}
 
 // String renders the atom as "R(t1,...,tn)".
 func (a *Atom) String() string { return a.Pred.Name + formatTerms(a.Args) }
 
 // Equal reports whether a and b denote the same atom.
-func (a *Atom) Equal(b *Atom) bool { return a.key == b.key }
+func (a *Atom) Equal(b *Atom) bool { return a.hash == b.hash && a.sameAtom(b) }
 
 // Depth returns the depth of the atom: the maximum depth over its terms
 // (Section 5 of the paper), 0 for a fact.
@@ -130,10 +167,10 @@ func (a *Atom) Variables() []Variable {
 // occurrence (the set dom(α) for ground atoms).
 func (a *Atom) Terms() []Term {
 	var out []Term
-	seen := make(map[string]bool)
-	for _, t := range a.Args {
-		if k := t.Key(); !seen[k] {
-			seen[k] = true
+	seen := make(map[int32]bool)
+	for i, t := range a.Args {
+		if id := a.ids[i]; !seen[id] {
+			seen[id] = true
 			out = append(out, t)
 		}
 	}
@@ -215,8 +252,9 @@ func (s Substitution) String() string {
 }
 
 // SortAtoms sorts a slice of atoms by key, in place, and returns it. It
-// gives a deterministic order for rendering and canonicalization.
+// gives a deterministic order for rendering and canonicalization (keys,
+// not ids, so the order is independent of interning order).
 func SortAtoms(atoms []*Atom) []*Atom {
-	sort.Slice(atoms, func(i, j int) bool { return atoms[i].key < atoms[j].key })
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Key() < atoms[j].Key() })
 	return atoms
 }

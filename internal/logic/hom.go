@@ -5,6 +5,10 @@ package logic
 // that every atom of A lands in B. The chase result is a universal model:
 // it maps homomorphically into every model of (D, Σ) — the property that
 // makes it the right tool for certain-answer query answering.
+//
+// The search runs on interned ids: nulls are assigned (image term, image
+// id) pairs keyed by their pointer (pointer identity equals term identity
+// within a factory), and argument agreement is int32 comparison.
 
 // InstanceHom returns a homomorphism from the atoms of 'from' into 'to'
 // (as a map from null keys to terms), or nil if none exists. Constants
@@ -17,22 +21,35 @@ func InstanceHom(from, to *Instance) map[string]Term {
 	atoms := append([]*Atom{}, from.Atoms()...)
 	// Order atoms so consecutive atoms share nulls (bounds fan-out).
 	ordered := orderByNullConnectivity(atoms)
-	assign := make(map[string]Term)
-	if homSearch(ordered, 0, to, assign) {
-		return assign
+	assign := make(map[*Null]nullBinding)
+	if !homSearch(ordered, 0, to, assign) {
+		return nil
 	}
-	return nil
+	out := make(map[string]Term, len(assign))
+	for n, b := range assign {
+		out[n.Key()] = b.term
+	}
+	return out
 }
 
 // HasInstanceHom reports whether 'from' maps homomorphically into 'to'.
 func HasInstanceHom(from, to *Instance) bool {
-	return InstanceHom(from, to) != nil
+	atoms := append([]*Atom{}, from.Atoms()...)
+	ordered := orderByNullConnectivity(atoms)
+	return homSearch(ordered, 0, to, make(map[*Null]nullBinding))
+}
+
+// nullBinding is the image of a null under the partial assignment; the id
+// duplicates the term's interned id so agreement checks stay on ids.
+type nullBinding struct {
+	term Term
+	id   int32
 }
 
 func orderByNullConnectivity(atoms []*Atom) []*Atom {
 	n := len(atoms)
 	used := make([]bool, n)
-	bound := make(map[string]bool)
+	bound := make(map[*Null]bool)
 	out := make([]*Atom, 0, n)
 	const minScore = -1 << 30
 	for len(out) < n {
@@ -46,7 +63,7 @@ func orderByNullConnectivity(atoms []*Atom) []*Atom {
 			for _, t := range a.Args {
 				if nl, ok := t.(*Null); ok {
 					nulls++
-					if bound[nl.Key()] {
+					if bound[nl] {
 						score += 2
 					}
 				}
@@ -63,64 +80,64 @@ func orderByNullConnectivity(atoms []*Atom) []*Atom {
 		out = append(out, atoms[best])
 		for _, t := range atoms[best].Args {
 			if nl, ok := t.(*Null); ok {
-				bound[nl.Key()] = true
+				bound[nl] = true
 			}
 		}
 	}
 	return out
 }
 
-func homSearch(atoms []*Atom, i int, to *Instance, assign map[string]Term) bool {
+func homSearch(atoms []*Atom, i int, to *Instance, assign map[*Null]nullBinding) bool {
 	if i == len(atoms) {
 		return true
 	}
 	pattern := atoms[i]
 	// Candidate targets: narrow by any ground or already-assigned position.
-	candidates := to.ByPred(pattern.Pred)
+	candidates := to.byPredID(pattern.pid)
 	for pos, t := range pattern.Args {
-		img, ok := imageOf(t, assign)
+		id, ok := imageID(t, pattern.ids[pos], assign)
 		if !ok {
 			continue
 		}
-		list := to.AtPosition(pattern.Pred, pos, img)
+		list := to.atPositionID(pattern.pid, int32(pos), id)
 		if len(list) < len(candidates) {
 			candidates = list
 		}
 	}
 	for _, cand := range candidates {
-		var newly []string
+		var newly []*Null
 		ok := true
 		for pos, t := range pattern.Args {
-			target := cand.Args[pos]
-			if img, bound := imageOf(t, assign); bound {
-				if img.Key() != target.Key() {
+			target := cand.ids[pos]
+			if id, bound := imageID(t, pattern.ids[pos], assign); bound {
+				if id != target {
 					ok = false
 					break
 				}
 				continue
 			}
 			nl := t.(*Null)
-			assign[nl.Key()] = target
-			newly = append(newly, nl.Key())
+			assign[nl] = nullBinding{term: cand.Args[pos], id: target}
+			newly = append(newly, nl)
 		}
 		if ok && homSearch(atoms, i+1, to, assign) {
 			return true
 		}
-		for _, k := range newly {
-			delete(assign, k)
+		for _, nl := range newly {
+			delete(assign, nl)
 		}
 	}
 	return false
 }
 
-// imageOf resolves the image of a term under the partial assignment:
-// non-null terms map to themselves; nulls map to their assignment when
-// bound.
-func imageOf(t Term, assign map[string]Term) (Term, bool) {
+// imageID resolves the interned id of the image of a term under the
+// partial assignment: non-null terms map to themselves; nulls map to their
+// assignment when bound.
+func imageID(t Term, id int32, assign map[*Null]nullBinding) (int32, bool) {
 	nl, ok := t.(*Null)
 	if !ok {
-		return t, true
+		return id, true
 	}
-	img, bound := assign[nl.Key()]
-	return img, bound
+	b, bound := assign[nl]
+	return b.id, bound
 }

@@ -7,34 +7,44 @@ import (
 )
 
 // Instance is a set of atoms over constants and nulls (a database when all
-// atoms are facts). It maintains per-predicate and per-(position, term)
-// indexes for conjunctive matching, and remembers insertion order so that
-// iteration and semi-naive deltas are deterministic.
+// atoms are facts). Atom membership is resolved through the atoms'
+// precomputed hashes and interned id tuples; per-predicate-id and
+// per-(predicate, position, term id) indexes accelerate conjunctive
+// matching, and insertion order is remembered so that iteration and
+// semi-naive deltas are deterministic. No string key is built or hashed on
+// any of these paths.
 //
 // Instances are not safe for concurrent mutation.
 type Instance struct {
-	atoms  map[string]*Atom
-	order  []*Atom
-	seq    map[string]int
-	byPred map[Predicate][]*Atom
-	// index maps (predicate, argument position, term key) to the atoms
+	// first holds the (almost always unique) atom per hash; overflow
+	// carries further atoms on the rare hash collision, resolved by
+	// comparing id tuples. The split keeps Add at one map insert per atom
+	// instead of one slice allocation per atom.
+	first    map[uint64]*Atom
+	overflow map[uint64][]*Atom // nil until the first collision
+	order    []*Atom
+	// seq maps the instance's canonical atom pointer to its insertion
+	// sequence number.
+	seq    map[*Atom]int
+	byPred map[int32][]*Atom
+	// index maps (predicate id, argument position, term id) to the atoms
 	// that carry that term at that position; it accelerates bound-variable
 	// lookups during homomorphism search.
 	index map[posTermKey][]*Atom
 }
 
 type posTermKey struct {
-	pred Predicate
-	pos  int
-	term string
+	pred int32
+	pos  int32
+	term int32
 }
 
 // NewInstance returns an empty instance.
 func NewInstance() *Instance {
 	return &Instance{
-		atoms:  make(map[string]*Atom),
-		seq:    make(map[string]int),
-		byPred: make(map[Predicate][]*Atom),
+		first:  make(map[uint64]*Atom),
+		seq:    make(map[*Atom]int),
+		byPred: make(map[int32][]*Atom),
 		index:  make(map[posTermKey][]*Atom),
 	}
 }
@@ -51,15 +61,27 @@ func NewDatabase(atoms ...*Atom) *Instance {
 
 // Add inserts the atom and reports whether it was new.
 func (in *Instance) Add(a *Atom) bool {
-	if _, ok := in.atoms[a.key]; ok {
-		return false
+	if b, ok := in.first[a.hash]; ok {
+		if b.sameAtom(a) {
+			return false
+		}
+		for _, c := range in.overflow[a.hash] {
+			if c.sameAtom(a) {
+				return false
+			}
+		}
+		if in.overflow == nil {
+			in.overflow = make(map[uint64][]*Atom)
+		}
+		in.overflow[a.hash] = append(in.overflow[a.hash], a)
+	} else {
+		in.first[a.hash] = a
 	}
-	in.atoms[a.key] = a
-	in.seq[a.key] = len(in.order)
+	in.seq[a] = len(in.order)
 	in.order = append(in.order, a)
-	in.byPred[a.Pred] = append(in.byPred[a.Pred], a)
-	for i, t := range a.Args {
-		k := posTermKey{pred: a.Pred, pos: i, term: t.Key()}
+	in.byPred[a.pid] = append(in.byPred[a.pid], a)
+	for i, id := range a.ids {
+		k := posTermKey{pred: a.pid, pos: int32(i), term: id}
 		in.index[k] = append(in.index[k], a)
 	}
 	return true
@@ -77,15 +99,24 @@ func (in *Instance) AddAll(atoms []*Atom) int {
 }
 
 // Has reports whether the instance contains the atom.
-func (in *Instance) Has(a *Atom) bool {
-	_, ok := in.atoms[a.key]
-	return ok
-}
+func (in *Instance) Has(a *Atom) bool { return in.Canonical(a) != nil }
 
 // Canonical returns the instance's own copy of an atom equal to a, or nil
 // when absent. It lets callers exchange structurally equal atoms for the
 // pointer stored in the instance.
-func (in *Instance) Canonical(a *Atom) *Atom { return in.atoms[a.key] }
+func (in *Instance) Canonical(a *Atom) *Atom {
+	if b, ok := in.first[a.hash]; ok {
+		if b.sameAtom(a) {
+			return b
+		}
+		for _, c := range in.overflow[a.hash] {
+			if c.sameAtom(a) {
+				return c
+			}
+		}
+	}
+	return nil
+}
 
 // Len returns the number of atoms.
 func (in *Instance) Len() int { return len(in.order) }
@@ -97,28 +128,57 @@ func (in *Instance) Atoms() []*Atom { return in.order }
 // Seq returns the insertion sequence number of the atom, or -1 if absent.
 // Semi-naive evaluation treats atoms with sequence >= deltaStart as new.
 func (in *Instance) Seq(a *Atom) int {
-	if s, ok := in.seq[a.key]; ok {
+	if s, ok := in.seq[a]; ok {
 		return s
+	}
+	// a may be a structurally equal atom from elsewhere; resolve it to the
+	// instance's canonical pointer.
+	if c := in.Canonical(a); c != nil {
+		return in.seq[c]
 	}
 	return -1
 }
 
 // ByPred returns the atoms with the given predicate, in insertion order.
 // The returned slice is shared; callers must not modify it.
-func (in *Instance) ByPred(p Predicate) []*Atom { return in.byPred[p] }
+func (in *Instance) ByPred(p Predicate) []*Atom {
+	// Lookup only: probing for an absent predicate must not intern it.
+	pid, ok := lookupPredID(p)
+	if !ok {
+		return nil
+	}
+	return in.byPred[pid]
+}
+
+// byPredID is ByPred for callers that already hold the interned id.
+func (in *Instance) byPredID(pid int32) []*Atom { return in.byPred[pid] }
 
 // AtPosition returns the atoms that carry the given term at the given
 // 0-based argument position of the predicate.
 func (in *Instance) AtPosition(p Predicate, pos int, t Term) []*Atom {
-	return in.index[posTermKey{pred: p, pos: pos, term: t.Key()}]
+	// Lookup only: probing for absent symbols must not intern them.
+	pid, ok := lookupPredID(p)
+	if !ok {
+		return nil
+	}
+	tid, ok := lookupTermID(t)
+	if !ok {
+		return nil
+	}
+	return in.index[posTermKey{pred: pid, pos: int32(pos), term: tid}]
+}
+
+// atPositionID is AtPosition on interned ids.
+func (in *Instance) atPositionID(pid, pos, term int32) []*Atom {
+	return in.index[posTermKey{pred: pid, pos: pos, term: term}]
 }
 
 // Predicates returns the distinct predicates of the instance, sorted by
 // name then arity.
 func (in *Instance) Predicates() []Predicate {
 	out := make([]Predicate, 0, len(in.byPred))
-	for p := range in.byPred {
-		out = append(out, p)
+	for pid := range in.byPred {
+		out = append(out, PredOfID(pid))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
@@ -133,11 +193,11 @@ func (in *Instance) Predicates() []Predicate {
 // (dom(I)), in order of first occurrence.
 func (in *Instance) ActiveDomain() []Term {
 	var out []Term
-	seen := make(map[string]bool)
+	seen := make(map[int32]bool)
 	for _, a := range in.order {
-		for _, t := range a.Args {
-			if k := t.Key(); !seen[k] {
-				seen[k] = true
+		for i, t := range a.Args {
+			if id := a.ids[i]; !seen[id] {
+				seen[id] = true
 				out = append(out, t)
 			}
 		}
@@ -145,13 +205,45 @@ func (in *Instance) ActiveDomain() []Term {
 	return out
 }
 
-// Clone returns an independent copy of the instance (atoms are shared,
-// indexes are rebuilt).
+// Clone returns an independent copy of the instance. Atoms are immutable
+// and shared; the index maps are copied directly instead of re-inserting
+// every atom, so cloning costs one map copy per index rather than a
+// rehash of the whole instance.
 func (in *Instance) Clone() *Instance {
-	out := NewInstance()
-	for _, a := range in.order {
-		out.Add(a)
+	out := &Instance{
+		first:  make(map[uint64]*Atom, len(in.first)),
+		order:  cloneAtoms(in.order),
+		seq:    make(map[*Atom]int, len(in.seq)),
+		byPred: make(map[int32][]*Atom, len(in.byPred)),
+		index:  make(map[posTermKey][]*Atom, len(in.index)),
 	}
+	for h, a := range in.first {
+		out.first[h] = a
+	}
+	if in.overflow != nil {
+		out.overflow = make(map[uint64][]*Atom, len(in.overflow))
+		// Slices are copied at exact capacity so a later append in either
+		// instance reallocates instead of clobbering the shared backing
+		// array.
+		for h, bucket := range in.overflow {
+			out.overflow[h] = cloneAtoms(bucket)
+		}
+	}
+	for a, s := range in.seq {
+		out.seq[a] = s
+	}
+	for pid, list := range in.byPred {
+		out.byPred[pid] = cloneAtoms(list)
+	}
+	for k, list := range in.index {
+		out.index[k] = cloneAtoms(list)
+	}
+	return out
+}
+
+func cloneAtoms(list []*Atom) []*Atom {
+	out := make([]*Atom, len(list))
+	copy(out, list)
 	return out
 }
 
@@ -192,11 +284,13 @@ func (in *Instance) String() string {
 
 // CanonicalKey returns a canonical string for the atom set (sorted atom
 // keys). Two instances have the same canonical key iff they contain the
-// same atoms.
+// same atoms. Keys, not interned ids, make the result comparable across
+// instances built by independent runs (for example two chase runs with
+// their own null factories).
 func (in *Instance) CanonicalKey() string {
-	keys := make([]string, 0, len(in.atoms))
-	for k := range in.atoms {
-		keys = append(keys, k)
+	keys := make([]string, 0, len(in.order))
+	for _, a := range in.order {
+		keys = append(keys, a.Key())
 	}
 	sort.Strings(keys)
 	return strconv.Itoa(len(keys)) + "|" + strings.Join(keys, "\x02")

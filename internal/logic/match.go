@@ -6,10 +6,14 @@ import "sort"
 // from a conjunction of atoms (a TGD body, a query) into an instance such
 // that h maps every body atom onto some instance atom. It is a
 // backtracking join with index-based candidate selection and optional
-// semi-naive delta restriction.
+// semi-naive delta restriction. The join runs entirely on interned symbol
+// ids: body atoms are compiled to per-argument codes (a ground id or a
+// variable slot), bindings live in flat slot arrays, and unification is
+// int32 comparison — no Term.Key() string is built or compared.
 
 // MatchAll enumerates every homomorphism from body into inst and calls
-// yield for each. Enumeration stops early when yield returns false.
+// yield for each. Enumeration stops early when yield returns false. Each
+// yielded Substitution is freshly allocated and owned by the consumer.
 //
 // If deltaStart >= 0, only homomorphisms that use at least one atom with
 // insertion sequence >= deltaStart are produced, and each such
@@ -20,80 +24,148 @@ import "sort"
 // The body atoms may contain variables, constants, nulls and fresh terms;
 // non-variable terms must match instance terms exactly.
 func MatchAll(body []*Atom, inst *Instance, deltaStart int, yield func(Substitution) bool) {
+	MatchAllExt(body, inst, deltaStart, func(m *Match) bool {
+		return yield(m.Substitution())
+	})
+}
+
+// MatchAllExt is MatchAll with id-level access to each match: the yielded
+// *Match exposes the images of the body variables as interned ids, which
+// lets the chase build its integer trigger keys without materializing a
+// Substitution for triggers that turn out to be duplicates. The *Match is
+// only valid during the yield call.
+func MatchAllExt(body []*Atom, inst *Instance, deltaStart int, yield func(*Match) bool) {
+	var mm Matcher
+	mm.MatchAllExt(body, inst, deltaStart, yield)
+}
+
+// Matcher amortizes the compiled-body buffers of MatchAllExt across calls.
+// The zero value is ready to use; a Matcher is not safe for concurrent use
+// and must not be re-entered from a yield callback.
+type Matcher struct{ m matcher }
+
+// MatchAllExt behaves like the package-level MatchAllExt, reusing the
+// Matcher's buffers.
+func (mm *Matcher) MatchAllExt(body []*Atom, inst *Instance, deltaStart int, yield func(*Match) bool) {
+	m := &mm.m
+	m.view.m = m
+	m.inst = inst
+	m.stopped = false
 	if len(body) == 0 {
-		yield(Substitution{})
+		m.slotVar = m.slotVar[:0]
+		m.slotID = m.slotID[:0]
+		yield(&m.view)
 		return
 	}
 	if deltaStart < 0 {
-		ordered, cons := orderBody(inst, body, make([]deltaConstraint, len(body)), -1)
-		m := &matcher{inst: inst, body: ordered, constraints: cons}
+		m.compile(body, m.anyAgeCons(len(body)), -1)
 		m.run(yield)
 		return
 	}
 	// Semi-naive: for each seed position, body[0..seed-1] must map to old
 	// atoms, body[seed] to a delta atom, the rest anywhere. The join is
 	// evaluated seed-first so every round's work is proportional to the
-	// delta, not the instance.
+	// delta, not the instance. The matcher (and its compile buffers) is
+	// reused across seeds.
+	cons := m.anyAgeCons(len(body))
 	for seed := range body {
-		cons := make([]deltaConstraint, len(body))
+		// The seed atom must land in the delta; if its predicate gained no
+		// atoms this round there is nothing to enumerate.
+		if !hasDelta(inst, body[seed].pid, deltaStart) {
+			continue
+		}
 		for i := range cons {
 			switch {
 			case i < seed:
 				cons[i] = deltaConstraint{mode: mustBeOld, bound: deltaStart}
 			case i == seed:
 				cons[i] = deltaConstraint{mode: mustBeNew, bound: deltaStart}
+			default:
+				cons[i] = deltaConstraint{}
 			}
 		}
-		ordered, orderedCons := orderBody(inst, body, cons, seed)
-		m := &matcher{inst: inst, body: ordered, constraints: orderedCons}
+		m.compile(body, cons, seed)
 		if !m.run(yield) {
 			return
 		}
 	}
 }
 
-// orderBody reorders a body for join evaluation: the start atom first (the
-// delta seed, or the atom with the fewest candidates when start < 0),
-// then greedily the atom sharing the most variables with those already
-// placed, which avoids Cartesian intermediate results. Each atom keeps its
-// delta constraint.
-func orderBody(inst *Instance, body []*Atom, cons []deltaConstraint, start int) ([]*Atom, []deltaConstraint) {
+// anyAgeCons returns the matcher's reusable constraint buffer, zeroed.
+func (m *matcher) anyAgeCons(n int) []deltaConstraint {
+	if cap(m.consIn) < n {
+		m.consIn = make([]deltaConstraint, n)
+	} else {
+		m.consIn = m.consIn[:n]
+		for i := range m.consIn {
+			m.consIn[i] = deltaConstraint{}
+		}
+	}
+	return m.consIn
+}
+
+// hasDelta reports whether the predicate has at least one atom with
+// insertion sequence >= deltaStart. Per-predicate lists are in insertion
+// order, so the last atom decides.
+func hasDelta(inst *Instance, pid int32, deltaStart int) bool {
+	list := inst.byPredID(pid)
+	return len(list) > 0 && inst.Seq(list[len(list)-1]) >= deltaStart
+}
+
+// orderBody reorders a body for join evaluation into m.body: the start
+// atom first (the delta seed, or the atom with the fewest candidates when
+// start < 0), then greedily the atom sharing the most variables with those
+// already placed, which avoids Cartesian intermediate results. Each atom
+// keeps its delta constraint.
+func (m *matcher) orderBody(body []*Atom, cons []deltaConstraint, start int) {
 	n := len(body)
-	if n <= 1 {
-		return body, cons
+	m.body = m.body[:0]
+	m.constraints = m.constraints[:0]
+	if n == 1 {
+		m.body = append(m.body, body[0])
+		m.constraints = append(m.constraints, cons[0])
+		return
 	}
 	if start < 0 {
 		start = 0
-		best := len(inst.ByPred(body[0].Pred))
+		best := len(m.inst.byPredID(body[0].pid))
 		for i := 1; i < n; i++ {
-			if c := len(inst.ByPred(body[i].Pred)); c < best {
+			if c := len(m.inst.byPredID(body[i].pid)); c < best {
 				best = c
 				start = i
 			}
 		}
 	}
-	used := make([]bool, n)
-	bound := make(map[Variable]bool)
-	orderedAtoms := make([]*Atom, 0, n)
-	orderedCons := make([]deltaConstraint, 0, n)
+	if cap(m.ordUsed) < n {
+		m.ordUsed = make([]bool, n)
+	} else {
+		m.ordUsed = m.ordUsed[:n]
+		for i := range m.ordUsed {
+			m.ordUsed[i] = false
+		}
+	}
+	m.ordSeen = m.ordSeen[:0]
 	place := func(i int) {
-		used[i] = true
-		orderedAtoms = append(orderedAtoms, body[i])
-		orderedCons = append(orderedCons, cons[i])
-		for _, v := range body[i].Variables() {
-			bound[v] = true
+		m.ordUsed[i] = true
+		m.body = append(m.body, body[i])
+		m.constraints = append(m.constraints, cons[i])
+		for _, id := range body[i].ids {
+			if id < 0 && !containsID(m.ordSeen, id) {
+				m.ordSeen = append(m.ordSeen, id)
+			}
 		}
 	}
 	place(start)
-	for len(orderedAtoms) < n {
+	for len(m.body) < n {
 		best, bestScore := -1, -1
 		for i := 0; i < n; i++ {
-			if used[i] {
+			if m.ordUsed[i] {
 				continue
 			}
 			score := 0
-			for _, v := range body[i].Variables() {
-				if bound[v] {
+			ids := body[i].ids
+			for j, id := range ids {
+				if id < 0 && containsID(m.ordSeen, id) && !containsID(ids[:j], id) {
 					score++
 				}
 			}
@@ -104,7 +176,15 @@ func orderBody(inst *Instance, body []*Atom, cons []deltaConstraint, start int) 
 		}
 		place(best)
 	}
-	return orderedAtoms, orderedCons
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // FindOne returns some homomorphism from body into inst, or nil if none
@@ -112,7 +192,7 @@ func orderBody(inst *Instance, body []*Atom, cons []deltaConstraint, start int) 
 func FindOne(body []*Atom, inst *Instance) Substitution {
 	var found Substitution
 	MatchAll(body, inst, -1, func(s Substitution) bool {
-		found = s.Clone()
+		found = s
 		return false
 	})
 	return found
@@ -129,7 +209,7 @@ func ExtendOne(body []*Atom, inst *Instance, base Substitution) Substitution {
 	}
 	var found Substitution
 	MatchAll(pre, inst, -1, func(s Substitution) bool {
-		found = s.Clone()
+		found = s
 		return false
 	})
 	if found == nil {
@@ -154,54 +234,103 @@ type deltaConstraint struct {
 	bound int
 }
 
-func (c deltaConstraint) admits(seq int) bool {
-	switch c.mode {
-	case mustBeOld:
-		return seq < c.bound
-	case mustBeNew:
-		return seq >= c.bound
-	default:
-		return true
-	}
-}
-
+// matcher is a compiled body join. Per ordered body atom, code holds one
+// int32 per argument: a ground term id (>= 0), or -1-slot for a variable's
+// binding slot. Bindings are flat arrays indexed by slot; the trail
+// records bound slots for backtracking.
 type matcher struct {
 	inst        *Instance
 	body        []*Atom
 	constraints []deltaConstraint
-	subst       Substitution
-	stopped     bool
+	code        [][]int32 // views into codeArena
+	codeArena   []int32
+
+	slotVar []Variable // slot -> source variable
+	slotID  []int32    // slot -> the variable's interned id
+
+	boundID   []int32 // slot -> image id, -1 when unbound (ground ids are >= 0)
+	boundTerm []Term  // slot -> image term
+	trail     []int32 // bound slots, for undo
+
+	ordUsed []bool            // orderBody scratch
+	ordSeen []int32           // orderBody scratch: variable ids already placed
+	consIn  []deltaConstraint // reusable input-constraint buffer
+
+	view    Match
+	stopped bool
+}
+
+// compile orders the body and translates it to slot codes, reusing the
+// matcher's buffers so semi-naive seeds recompile without allocating.
+func (m *matcher) compile(body []*Atom, cons []deltaConstraint, start int) {
+	m.orderBody(body, cons, start)
+	m.slotVar = m.slotVar[:0]
+	m.slotID = m.slotID[:0]
+	total := 0
+	for _, a := range m.body {
+		total += len(a.ids)
+	}
+	if cap(m.codeArena) < total {
+		m.codeArena = make([]int32, total)
+	} else {
+		m.codeArena = m.codeArena[:total]
+	}
+	m.code = m.code[:0]
+	off := 0
+	for _, a := range m.body {
+		code := m.codeArena[off : off+len(a.ids)]
+		off += len(a.ids)
+		for i, id := range a.ids {
+			if id >= 0 {
+				code[i] = id
+				continue
+			}
+			s := m.slot(id)
+			if s < 0 {
+				s = len(m.slotVar)
+				m.slotVar = append(m.slotVar, a.Args[i].(Variable))
+				m.slotID = append(m.slotID, id)
+			}
+			code[i] = int32(-1 - s)
+		}
+		m.code = append(m.code, code)
+	}
+	n := len(m.slotVar)
+	if cap(m.boundID) < n {
+		m.boundID = make([]int32, n)
+		m.boundTerm = make([]Term, n)
+	} else {
+		m.boundID = m.boundID[:n]
+		m.boundTerm = m.boundTerm[:n]
+	}
 }
 
 // run enumerates matches; it returns false if the consumer stopped early.
-func (m *matcher) run(yield func(Substitution) bool) bool {
-	m.subst = make(Substitution)
+func (m *matcher) run(yield func(*Match) bool) bool {
+	for i := range m.boundID {
+		m.boundID[i] = -1
+	}
+	m.trail = m.trail[:0]
 	m.backtrack(0, yield)
 	return !m.stopped
 }
 
-func (m *matcher) backtrack(i int, yield func(Substitution) bool) {
+func (m *matcher) backtrack(i int, yield func(*Match) bool) {
 	if m.stopped {
 		return
 	}
 	if i == len(m.body) {
-		if !yield(m.subst) {
+		if !yield(&m.view) {
 			m.stopped = true
 		}
 		return
 	}
-	pattern := m.body[i]
 	cons := m.constraints[i]
-	for _, cand := range m.candidates(pattern, cons) {
-		if !cons.admits(m.inst.Seq(cand)) {
-			continue
-		}
-		bound, ok := m.unify(pattern, cand)
-		if ok {
+	for _, cand := range m.candidates(i, cons) {
+		mark := len(m.trail)
+		if m.unify(i, cand) {
 			m.backtrack(i+1, yield)
-		}
-		for _, v := range bound {
-			delete(m.subst, v)
+			m.undo(mark)
 		}
 		if m.stopped {
 			return
@@ -209,20 +338,25 @@ func (m *matcher) backtrack(i int, yield func(Substitution) bool) {
 	}
 }
 
-// candidates returns the smallest available index list for the pattern
-// under the current bindings: if some argument is ground (constant, null,
-// fresh, or an already-bound variable), the positional index narrows the
-// scan; otherwise all atoms of the predicate are scanned. Index lists are
-// in insertion order, so age constraints slice them by binary search
-// instead of filtering — this keeps semi-naive rounds linear in the delta.
-func (m *matcher) candidates(pattern *Atom, cons deltaConstraint) []*Atom {
-	best := m.sliceByAge(m.inst.ByPred(pattern.Pred), cons)
-	for pos, t := range pattern.Args {
-		ground := m.subst.Apply(t)
-		if !IsGround(ground) {
-			continue
+// candidates returns the smallest available index list for the i-th body
+// atom under the current bindings: if some argument is ground (a constant,
+// null, fresh term, or an already-bound variable slot), the positional
+// index narrows the scan; otherwise all atoms of the predicate are
+// scanned. Index lists are in insertion order, so age constraints slice
+// them by binary search instead of filtering — this keeps semi-naive
+// rounds linear in the delta.
+func (m *matcher) candidates(i int, cons deltaConstraint) []*Atom {
+	pid := m.body[i].pid
+	best := m.sliceByAge(m.inst.byPredID(pid), cons)
+	for pos, c := range m.code[i] {
+		id := c
+		if c < 0 {
+			id = m.boundID[-1-c]
+			if id < 0 {
+				continue // unbound variable
+			}
 		}
-		list := m.sliceByAge(m.inst.AtPosition(pattern.Pred, pos, ground), cons)
+		list := m.sliceByAge(m.inst.atPositionID(pid, int32(pos), id), cons)
 		if len(list) < len(best) {
 			best = list
 		}
@@ -245,33 +379,95 @@ func (m *matcher) sliceByAge(list []*Atom, cons deltaConstraint) []*Atom {
 	}
 }
 
-// unify extends the current substitution so that pattern maps onto fact.
-// It returns the variables newly bound; when unification fails it undoes
-// its own bindings and reports false.
-func (m *matcher) unify(pattern, fact *Atom) ([]Variable, bool) {
-	var bound []Variable
-	for i, t := range pattern.Args {
-		ft := fact.Args[i]
-		if v, ok := t.(Variable); ok {
-			if img, ok := m.subst[v]; ok {
-				if img.Key() != ft.Key() {
-					for _, b := range bound {
-						delete(m.subst, b)
-					}
-					return nil, false
-				}
-				continue
+// unify extends the current bindings so that the i-th body atom maps onto
+// fact, comparing interned ids only. On failure it undoes its own bindings
+// and reports false; on success the new bindings are on the trail.
+func (m *matcher) unify(i int, fact *Atom) bool {
+	mark := len(m.trail)
+	for pos, c := range m.code[i] {
+		fid := fact.ids[pos]
+		if c >= 0 {
+			if c != fid {
+				m.undo(mark)
+				return false
 			}
-			m.subst[v] = ft
-			bound = append(bound, v)
 			continue
 		}
-		if t.Key() != ft.Key() {
-			for _, b := range bound {
-				delete(m.subst, b)
+		s := -1 - c
+		if b := m.boundID[s]; b >= 0 {
+			if b != fid {
+				m.undo(mark)
+				return false
 			}
-			return nil, false
+			continue
+		}
+		m.boundID[s] = fid
+		m.boundTerm[s] = fact.Args[pos]
+		m.trail = append(m.trail, c)
+	}
+	return true
+}
+
+func (m *matcher) undo(mark int) {
+	for k := len(m.trail) - 1; k >= mark; k-- {
+		m.boundID[-1-m.trail[k]] = -1
+	}
+	m.trail = m.trail[:mark]
+}
+
+// Match is the id-level view of one homomorphism, yielded by MatchAllExt.
+// It is a window into the matcher's state: valid only until the yield
+// callback returns.
+type Match struct {
+	m *matcher
+}
+
+// Substitution materializes the homomorphism as a fresh Substitution.
+func (v *Match) Substitution() Substitution {
+	out := make(Substitution, len(v.m.slotVar))
+	for s, x := range v.m.slotVar {
+		out[x] = v.m.boundTerm[s]
+	}
+	return out
+}
+
+// AppendImageIDs appends the interned ids of the images of the given
+// variables (themselves given by interned id) to dst and returns it. A
+// variable that does not occur in the body contributes its own (negative)
+// id, keeping keys built from the result well-defined.
+func (v *Match) AppendImageIDs(dst []int32, varIDs []int32) []int32 {
+	for _, id := range varIDs {
+		if s := v.m.slot(id); s >= 0 {
+			dst = append(dst, v.m.boundID[s])
+		} else {
+			dst = append(dst, id)
 		}
 	}
-	return bound, true
+	return dst
+}
+
+// AppendImageTerms appends the image terms of the given variables (by
+// interned id) to dst and returns it. A variable that does not occur in
+// the body contributes itself, mirroring Substitution.Apply on an unbound
+// variable.
+func (v *Match) AppendImageTerms(dst []Term, varIDs []int32) []Term {
+	for _, id := range varIDs {
+		if s := v.m.slot(id); s >= 0 {
+			dst = append(dst, v.m.boundTerm[s])
+		} else {
+			dst = append(dst, TermOfID(id))
+		}
+	}
+	return dst
+}
+
+// slot returns the binding slot of the variable id, or -1. Bodies have a
+// handful of variables, so a linear scan beats a map.
+func (m *matcher) slot(varID int32) int {
+	for s, id := range m.slotID {
+		if id == varID {
+			return s
+		}
+	}
+	return -1
 }

@@ -1,0 +1,326 @@
+package logic
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the interned-ID data plane. A process-wide Symbols
+// table maps every term and every predicate to a dense int32 symbol id;
+// atoms carry their interned id tuple plus a precomputed 64-bit hash,
+// instances index atoms by ids, and the matcher unifies on ids, so the
+// chase hot path never builds or hashes Term.Key() strings.
+//
+// Id space: ground terms — constants, nulls, fresh terms and foreign term
+// kinds — receive ids >= 0; variables receive ids < 0, so a sign test
+// classifies a term during matching. Within one Symbols table, term
+// identity is id identity: IDOf(s) == IDOf(t) iff s and t are the same
+// term. For every kind except nulls this coincides with Key() equality;
+// null keys are factory-local (two factories render their first null as
+// the same key, while their ids stay distinct), which is exactly what
+// keeps Key() — and hence CanonicalKey and rendering — usable as the
+// cross-run identity when comparing instances produced by independent
+// chase runs.
+
+// Symbols interns terms and predicates into dense int32 ids. The zero
+// value is not usable; the package maintains one process-wide table
+// (guarded by a mutex) that all atoms share, so ids are comparable across
+// instances, TGD sets and chase runs within one process.
+//
+// Nulls draw their ids from the same ground id space but are not stored
+// in the table: a null's identity lives in its factory, and keeping every
+// null ever chased alive in a process-wide table would leak across runs.
+// TermOfID therefore resolves every term kind except nulls.
+type Symbols struct {
+	mu        sync.RWMutex
+	nextID    atomic.Int32 // next unassigned ground id (shared with nulls)
+	constants map[Constant]int32
+	fresh     map[Fresh]int32
+	foreign   map[string]int32 // non-built-in Term kinds, keyed by Key()
+	ground    map[int32]Term   // ground id -> term; nulls excluded
+	variables map[Variable]int32
+	vars      []Variable // variable index -> variable (id = -1-index)
+	preds     map[Predicate]int32
+	predList  []Predicate
+}
+
+func newSymbols() *Symbols {
+	return &Symbols{
+		constants: make(map[Constant]int32),
+		fresh:     make(map[Fresh]int32),
+		foreign:   make(map[string]int32),
+		ground:    make(map[int32]Term),
+		variables: make(map[Variable]int32),
+		preds:     make(map[Predicate]int32),
+	}
+}
+
+// symtab is the process-wide symbol table.
+var symtab = newSymbols()
+
+// IDOf returns the interned symbol id of the term, interning it first if
+// necessary. Ground terms get ids >= 0, variables ids < 0. Nulls carry
+// their id from creation, so the common chase case takes no lock.
+func IDOf(t Term) int32 {
+	if n, ok := t.(*Null); ok {
+		return n.gid
+	}
+	return symtab.intern(t)
+}
+
+// TermOfID returns the term interned under the id, or nil for ids that
+// were never handed out or belong to nulls (which live in their factory,
+// not the table).
+func TermOfID(id int32) Term {
+	symtab.mu.RLock()
+	defer symtab.mu.RUnlock()
+	if id < 0 {
+		if i := int(-1 - id); i < len(symtab.vars) {
+			return symtab.vars[i]
+		}
+		return nil
+	}
+	return symtab.ground[id]
+}
+
+// PredIDOf returns the interned id of the predicate, interning it first if
+// necessary.
+func PredIDOf(p Predicate) int32 {
+	symtab.mu.RLock()
+	id, ok := symtab.preds[p]
+	symtab.mu.RUnlock()
+	if ok {
+		return id
+	}
+	symtab.mu.Lock()
+	defer symtab.mu.Unlock()
+	if id, ok := symtab.preds[p]; ok {
+		return id
+	}
+	id = int32(len(symtab.predList))
+	symtab.preds[p] = id
+	symtab.predList = append(symtab.predList, p)
+	return id
+}
+
+// PredOfID returns the predicate interned under the id.
+func PredOfID(id int32) Predicate {
+	symtab.mu.RLock()
+	defer symtab.mu.RUnlock()
+	return symtab.predList[id]
+}
+
+// lookupTermID returns the id of the term without interning it; ok is
+// false when the term was never seen. Read-only queries use it so that
+// probing for absent symbols does not grow the table.
+func lookupTermID(t Term) (int32, bool) {
+	if n, isNull := t.(*Null); isNull {
+		return n.gid, true
+	}
+	symtab.mu.RLock()
+	id, ok := symtab.lookup(t)
+	symtab.mu.RUnlock()
+	return id, ok
+}
+
+// lookupPredID is lookupTermID for predicates.
+func lookupPredID(p Predicate) (int32, bool) {
+	symtab.mu.RLock()
+	id, ok := symtab.preds[p]
+	symtab.mu.RUnlock()
+	return id, ok
+}
+
+func (s *Symbols) intern(t Term) int32 {
+	s.mu.RLock()
+	id, ok := s.lookup(t)
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.lookup(t); ok {
+		return id
+	}
+	switch x := t.(type) {
+	case Variable:
+		id = int32(-1 - len(s.vars))
+		s.variables[x] = id
+		s.vars = append(s.vars, x)
+	case Constant:
+		id = s.addGround(t)
+		s.constants[x] = id
+	case Fresh:
+		id = s.addGround(t)
+		s.fresh[x] = id
+	default:
+		id = s.addGround(t)
+		s.foreign[t.Key()] = id
+	}
+	return id
+}
+
+func (s *Symbols) lookup(t Term) (int32, bool) {
+	switch x := t.(type) {
+	case Variable:
+		id, ok := s.variables[x]
+		return id, ok
+	case Constant:
+		id, ok := s.constants[x]
+		return id, ok
+	case Fresh:
+		id, ok := s.fresh[x]
+		return id, ok
+	default:
+		id, ok := s.foreign[t.Key()]
+		return id, ok
+	}
+}
+
+func (s *Symbols) addGround(t Term) int32 {
+	id := s.nextID.Add(1) - 1
+	if id < 0 {
+		panic("logic: ground symbol id space exhausted (2^31 ids)")
+	}
+	s.ground[id] = t
+	return id
+}
+
+// registerNull assigns a fresh ground id to a newly created null, without
+// the lock and without retaining the null: the id counter is atomic, and
+// the factory owns the null's lifetime.
+func registerNull(*Null) int32 {
+	id := symtab.nextID.Add(1) - 1
+	if id < 0 {
+		// Wraparound would flip the sign-based variable/ground
+		// classification and silently corrupt matching; fail loudly.
+		panic("logic: ground symbol id space exhausted (2^31 ids)")
+	}
+	return id
+}
+
+// internAtom interns the predicate and every argument of an atom and
+// returns the id tuple together with the atom hash. The common case (all
+// symbols known) resolves under a single read-lock round-trip.
+func internAtom(pred Predicate, args []Term) (pid int32, ids []int32, hash uint64) {
+	ids = make([]int32, len(args))
+	s := symtab
+	s.mu.RLock()
+	pid, ok := s.preds[pred]
+	if ok {
+		for i, t := range args {
+			if n, isNull := t.(*Null); isNull {
+				ids[i] = n.gid
+				continue
+			}
+			if ids[i], ok = s.lookup(t); !ok {
+				break
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		// Slow path: at least one symbol is new; intern one by one.
+		pid = PredIDOf(pred)
+		for i, t := range args {
+			ids[i] = IDOf(t)
+		}
+	}
+	return pid, ids, hashAtom(pid, ids)
+}
+
+// FNV-1a folding over int32 words; collisions are tolerated everywhere
+// (instances bucket by hash and compare id tuples), so a 64-bit mix is
+// plenty.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashWord(h uint64, w int32) uint64 {
+	x := uint32(w)
+	h = (h ^ uint64(x&0xffff)) * fnvPrime64
+	h = (h ^ uint64(x>>16)) * fnvPrime64
+	return h
+}
+
+func hashAtom(pid int32, ids []int32) uint64 {
+	h := hashWord(fnvOffset64, pid)
+	for _, id := range ids {
+		h = hashWord(h, id)
+	}
+	return h
+}
+
+// TupleInterner hash-conses int32 tuples into dense ids. The chase uses it
+// for its fired-trigger set and canonical null names: a trigger key is the
+// tuple (TGD id, image ids of the key variables), replacing the string
+// keys the engine used to concatenate per considered trigger. Tuples are
+// stored in one arena; Intern never retains the caller's slice.
+type TupleInterner struct {
+	first    map[uint64]int32   // tuple hash -> tuple id (the common case)
+	overflow map[uint64][]int32 // further ids on hash collision; nil until needed
+	starts   []int32            // starts[i]..starts[i+1] delimit tuple i in arena
+	arena    []int32
+}
+
+// NewTupleInterner returns an empty interner.
+func NewTupleInterner() *TupleInterner {
+	return &TupleInterner{
+		first:  make(map[uint64]int32),
+		starts: append(make([]int32, 0, 64), 0),
+		arena:  make([]int32, 0, 256),
+	}
+}
+
+// Intern returns the dense id of the tuple, interning it if absent. The
+// second result reports whether the tuple was newly interned.
+func (ti *TupleInterner) Intern(tuple []int32) (int32, bool) {
+	h := fnvOffset64 ^ uint64(len(tuple))
+	for _, w := range tuple {
+		h = hashWord(h, w)
+	}
+	id, collision := ti.first[h]
+	if collision {
+		if int32sEqual(ti.at(id), tuple) {
+			return id, false
+		}
+		for _, id := range ti.overflow[h] {
+			if int32sEqual(ti.at(id), tuple) {
+				return id, false
+			}
+		}
+	}
+	id = int32(len(ti.starts) - 1)
+	ti.arena = append(ti.arena, tuple...)
+	ti.starts = append(ti.starts, int32(len(ti.arena)))
+	if collision {
+		if ti.overflow == nil {
+			ti.overflow = make(map[uint64][]int32)
+		}
+		ti.overflow[h] = append(ti.overflow[h], id)
+	} else {
+		ti.first[h] = id
+	}
+	return id, true
+}
+
+// Len returns the number of distinct tuples interned.
+func (ti *TupleInterner) Len() int { return len(ti.starts) - 1 }
+
+func (ti *TupleInterner) at(id int32) []int32 {
+	return ti.arena[ti.starts[id]:ti.starts[id+1]]
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}

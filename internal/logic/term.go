@@ -2,11 +2,24 @@
 // terms (constants, labeled nulls, variables), predicates and positions,
 // atoms, substitutions, instances and databases, and homomorphism search.
 //
-// Terms are compared by their Key: two terms are the same term if and only
-// if their keys are equal. Nulls are interned through a NullFactory, which
-// realizes the semi-oblivious naming scheme of the paper (a null is
-// uniquely determined by the trigger that invents it, restricted to the
-// frontier, and the existential variable it stands for).
+// Identity is two-layered. The data plane is integer-based: every term and
+// predicate is interned into a process-wide symbol table (see symbols.go)
+// that assigns dense int32 ids, atoms carry their interned id tuple plus a
+// precomputed 64-bit hash, and instances and the matcher operate on ids
+// only — within one Symbols table, term identity is interned-id identity.
+// Strings remain the presentation and cross-table layer: two terms are the
+// same term if and only if their Keys are equal, and keys are what gets
+// compared across independently produced instances (CanonicalKey) and
+// rendered by the parser and formatters, the only places strings enter or
+// leave the system.
+//
+// Nulls are interned through a NullFactory, which realizes the
+// semi-oblivious naming scheme of the paper (a null is uniquely determined
+// by the trigger that invents it, restricted to the frontier, and the
+// existential variable it stands for).
+//
+// Like Instance, atoms and the symbol table are not safe for concurrent
+// mutation; the package assumes single-goroutine use.
 package logic
 
 import (
@@ -19,7 +32,9 @@ import (
 // Equality of terms is equality of keys. Packages outside logic may define
 // additional term kinds (for example canonical integers in type atoms) as
 // long as their keys cannot collide with the built-in kinds; the built-in
-// key prefixes are "c\x00", "n\x00", "v\x00" and "f\x00".
+// key prefixes are "c\x00", "n\x00", "v\x00" and "f\x00". Foreign kinds
+// are interned by key, so they work everywhere built-in terms do, just
+// without the built-in kinds' fast interning paths.
 type Term interface {
 	// Key returns a string that uniquely identifies the term.
 	Key() string
@@ -60,11 +75,14 @@ func (f Fresh) String() string { return strconv.Itoa(int(f)) }
 // pointer equality coincides with term equality within one factory.
 type Null struct {
 	id    int
+	gid   int32 // process-wide symbol id, assigned at creation
 	name  string
 	depth int
 }
 
-// Key implements Term.
+// Key implements Term. The key is factory-local (it identifies the null
+// among its factory's nulls), which keeps instances produced by
+// independent chase runs comparable by CanonicalKey.
 func (n *Null) Key() string { return "n\x00" + strconv.Itoa(n.id) }
 
 // String returns the printable name of the null (for example "⊥3").
@@ -78,12 +96,19 @@ func (n *Null) ID() int { return n.id }
 // invented it (0 if the frontier is empty).
 func (n *Null) Depth() int { return n.depth }
 
-// NullFactory interns nulls by an arbitrary caller-chosen key. The chase
-// uses keys of the form (TGD, existential variable, frontier assignment),
-// which realizes the semi-oblivious chase's canonical null names.
+// NullFactory interns nulls by a caller-chosen key: either an arbitrary
+// string, or — on the chase hot path — an int32 tuple of interned symbol
+// ids. The chase uses tuples of the form (TGD id, existential index,
+// frontier image ids), which realizes the semi-oblivious chase's canonical
+// null names without building a string per considered trigger. String and
+// tuple keys live in disjoint key spaces; a factory typically uses one or
+// the other.
 type NullFactory struct {
-	byKey map[string]*Null
-	all   []*Null
+	byKey    map[string]*Null
+	tuples   *TupleInterner
+	byTuple  []*Null // tuple id -> null
+	all      []*Null
+	maxDepth int
 }
 
 // NewNullFactory returns an empty factory.
@@ -98,10 +123,34 @@ func (f *NullFactory) Intern(key string, depth int) (*Null, bool) {
 	if n, ok := f.byKey[key]; ok {
 		return n, false
 	}
-	n := &Null{id: len(f.all), name: "⊥" + strconv.Itoa(len(f.all)), depth: depth}
+	n := f.newNull(depth)
 	f.byKey[key] = n
-	f.all = append(f.all, n)
 	return n, true
+}
+
+// InternTuple is Intern with an interned integer-tuple key. The caller's
+// slice is not retained.
+func (f *NullFactory) InternTuple(tuple []int32, depth int) (*Null, bool) {
+	if f.tuples == nil {
+		f.tuples = NewTupleInterner()
+	}
+	id, fresh := f.tuples.Intern(tuple)
+	if !fresh {
+		return f.byTuple[id], false
+	}
+	n := f.newNull(depth)
+	f.byTuple = append(f.byTuple, n) // id == len(f.byTuple) by construction
+	return n, true
+}
+
+func (f *NullFactory) newNull(depth int) *Null {
+	n := &Null{id: len(f.all), name: "⊥" + strconv.Itoa(len(f.all)), depth: depth}
+	n.gid = registerNull(n)
+	f.all = append(f.all, n)
+	if depth > f.maxDepth {
+		f.maxDepth = depth
+	}
+	return n
 }
 
 // Len returns the number of nulls created so far.
@@ -109,15 +158,7 @@ func (f *NullFactory) Len() int { return len(f.all) }
 
 // MaxDepth returns the maximum depth over all nulls created so far, or 0
 // if none exist.
-func (f *NullFactory) MaxDepth() int {
-	max := 0
-	for _, n := range f.all {
-		if n.depth > max {
-			max = n.depth
-		}
-	}
-	return max
-}
+func (f *NullFactory) MaxDepth() int { return f.maxDepth }
 
 // TermDepth returns the depth of a term per Definition 4.3: constants (and
 // all non-null terms) have depth 0; a null reports its interned depth.

@@ -47,7 +47,7 @@ func (q *CQ) ContainedIn(other *CQ) (bool, error) {
 	found := false
 	logic.MatchAll(other.Body, frozen, -1, func(h logic.Substitution) bool {
 		for i, v := range other.Answer {
-			if h[v].Key() != frozenAnswer[i].Key() {
+			if logic.IDOf(h[v]) != logic.IDOf(frozenAnswer[i]) {
 				return true
 			}
 		}

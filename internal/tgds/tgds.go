@@ -25,7 +25,11 @@ type TGD struct {
 	Head []*logic.Atom
 
 	frontier    []logic.Variable
+	frontierIDs []int32 // interned ids, aligned with frontier
 	existential []logic.Variable
+	bodyVars    []logic.Variable // distinct body variables, first-occurrence order
+	sortedBody  []logic.Variable // distinct body variables, sorted by name
+	sortedIDs   []int32          // interned ids, aligned with sortedBody
 	guardIndex  int
 	key         string
 }
@@ -63,16 +67,28 @@ func New(body, head []*logic.Atom) (*TGD, error) {
 	}
 	sort.Slice(t.frontier, func(i, j int) bool { return t.frontier[i] < t.frontier[j] })
 	_ = headVars
+	t.frontierIDs = internVars(t.frontier)
+	t.bodyVars = variablesInOrder(body)
+	t.sortedBody = append([]logic.Variable{}, t.bodyVars...)
+	sort.Slice(t.sortedBody, func(i, j int) bool { return t.sortedBody[i] < t.sortedBody[j] })
+	t.sortedIDs = internVars(t.sortedBody)
 	// Guard: the leftmost body atom containing every body variable.
-	all := variablesInOrder(body)
 	for i, a := range body {
-		if containsAll(a, all) {
+		if containsAll(a, t.bodyVars) {
 			t.guardIndex = i
 			break
 		}
 	}
 	t.key = renderTGD(body, head)
 	return t, nil
+}
+
+func internVars(vars []logic.Variable) []int32 {
+	out := make([]int32, len(vars))
+	for i, v := range vars {
+		out[i] = logic.IDOf(v)
+	}
+	return out
 }
 
 // MustNew is New for statically-known TGDs; it panics on error.
@@ -84,16 +100,32 @@ func MustNew(body, head []*logic.Atom) *TGD {
 	return t
 }
 
-// Frontier returns the frontier variables fr(σ), sorted.
+// Frontier returns the frontier variables fr(σ), sorted. The returned
+// slice is shared; callers must not modify it.
 func (t *TGD) Frontier() []logic.Variable { return t.frontier }
+
+// FrontierIDs returns the interned symbol ids of the frontier variables,
+// aligned with Frontier(). The returned slice is shared; callers must not
+// modify it.
+func (t *TGD) FrontierIDs() []int32 { return t.frontierIDs }
 
 // Existential returns the existentially quantified head variables, in
 // order of first occurrence in the head.
 func (t *TGD) Existential() []logic.Variable { return t.existential }
 
 // BodyVariables returns the distinct body variables in order of first
-// occurrence.
-func (t *TGD) BodyVariables() []logic.Variable { return variablesInOrder(t.Body) }
+// occurrence. The result is a fresh copy on every call: the memoized
+// slice must not leak, because callers (historically the oblivious chase's
+// trigger keying) sort it in place.
+func (t *TGD) BodyVariables() []logic.Variable {
+	return append([]logic.Variable{}, t.bodyVars...)
+}
+
+// SortedBodyVarIDs returns the interned symbol ids of the distinct body
+// variables, sorted by variable name; the oblivious chase keys triggers
+// and nulls by the images of exactly this sequence. The returned slice is
+// shared; callers must not modify it.
+func (t *TGD) SortedBodyVarIDs() []int32 { return t.sortedIDs }
 
 // IsGuarded reports whether some body atom contains all body variables.
 func (t *TGD) IsGuarded() bool { return t.guardIndex >= 0 }
