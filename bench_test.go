@@ -6,6 +6,8 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/guarded"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	rt "repro/internal/runtime"
 	"repro/internal/simplify"
 	"repro/internal/tm"
 )
@@ -91,6 +94,64 @@ func BenchmarkChaseGuarded(b *testing.B) {
 		if !res.Terminated {
 			b.Fatal("unexpected budget hit")
 		}
+	}
+}
+
+// BenchmarkChaseGuardedParallel is BenchmarkChaseGuarded with trigger
+// collection sharded across a 4-worker executor (compare the two to see
+// the intra-run speedup; on a single-core host it measures the sharding
+// overhead instead).
+func BenchmarkChaseGuardedParallel(b *testing.B) {
+	w := families.GLower(1, 1, 1)
+	exec := rt.NewExecutor(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := chase.Run(w.Database, w.Sigma, chase.Options{Executor: exec})
+		if !res.Terminated {
+			b.Fatal("unexpected budget hit")
+		}
+	}
+}
+
+// BenchmarkTuringChaseParallel is BenchmarkTuringChase with a 4-worker
+// executor.
+func BenchmarkTuringChaseParallel(b *testing.B) {
+	m := tm.BounceAndHalt(2)
+	db := m.Database()
+	sigma := tm.FixedSigma()
+	exec := rt.NewExecutor(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := chase.Run(db, sigma, chase.Options{MaxAtoms: 100000, Executor: exec})
+		if !res.Terminated {
+			b.Fatal("halting machine must terminate")
+		}
+	}
+}
+
+// BenchmarkPoolThroughput measures the multi-job scheduler on a fleet of
+// small independent chase jobs (the serving shape: one job per (D, Σ)
+// request), sequentially and with 4 pool workers.
+func BenchmarkPoolThroughput(b *testing.B) {
+	const jobs = 32
+	w := families.SLLower(2, 2, 2)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := rt.NewPool(workers)
+				for j := 0; j < jobs; j++ {
+					p.Submit(rt.ChaseJob(fmt.Sprintf("job-%d", j), w.Database, w.Sigma,
+						chase.Options{}, rt.Budget{}, nil))
+				}
+				results, stats := p.Run(context.Background())
+				if stats.Succeeded != jobs {
+					b.Fatalf("stats = %+v", stats)
+				}
+				if !results[0].Value.(*chase.Result).Terminated {
+					b.Fatal("unexpected budget hit")
+				}
+			}
+		})
 	}
 }
 

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	chase -data db.dlgp -rules onto.dlgp [-engine semi|oblivious|restricted]
-//	      [-max-atoms N] [-stats] [-quiet]
+//	      [-max-atoms N] [-workers N] [-stats] [-quiet]
 //
 // Facts and rules may also live in a single file passed via -program.
+// With more than one worker, trigger collection is sharded across a
+// worker pool; the result is byte-identical to the sequential engine.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	rt "repro/internal/runtime"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print run statistics")
 		quiet     = flag.Bool("quiet", false, "suppress the result instance")
 		format    = flag.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
+		workers   = cli.WorkersFlag()
 	)
 	flag.Parse()
 
@@ -52,7 +56,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := chase.Run(db, rules, chase.Options{Variant: variant, MaxAtoms: *maxAtoms})
+	opts := chase.Options{Variant: variant, MaxAtoms: *maxAtoms}
+	if w := cli.Workers(*workers); w > 1 {
+		opts.Executor = rt.NewExecutor(w)
+	}
+	res := chase.Run(db, rules, opts)
 	if !*quiet {
 		switch *format {
 		case "dlgp":

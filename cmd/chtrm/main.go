@@ -8,7 +8,11 @@
 // Usage:
 //
 //	chtrm -data db.dlgp -rules onto.dlgp [-method syntactic|naive|ucq]
-//	      [-max-atoms N] [-show-bounds]
+//	      [-max-atoms N] [-workers N] [-show-bounds]
+//
+// The -workers flag parallelizes the naive method's chase-materialization
+// probe (the simulation that runs the chase against its restricted
+// budget); the verdict is byte-identical to the sequential probe.
 //
 // Exit status: 0 terminating, 1 non-terminating, 3 unknown.
 package main
@@ -22,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/logic"
+	rt "repro/internal/runtime"
 	"repro/internal/tgds"
 )
 
@@ -35,6 +40,7 @@ func main() {
 		showBounds = flag.Bool("show-bounds", false, "print d_C(Σ) and f_C(Σ)")
 		dotPath    = flag.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
 		uniform    = flag.Bool("uniform", false, "decide uniform termination (every database) instead")
+		workers    = cli.WorkersFlag()
 	)
 	flag.Parse()
 
@@ -79,7 +85,11 @@ func main() {
 	case *method == "syntactic":
 		verdict, err = core.Decide(db, rules)
 	case *method == "naive":
-		verdict, err = core.DecideNaive(db, rules, *maxAtoms)
+		if w := cli.Workers(*workers); w > 1 {
+			verdict, err = core.DecideNaiveExec(db, rules, *maxAtoms, rt.NewExecutor(w))
+		} else {
+			verdict, err = core.DecideNaive(db, rules, *maxAtoms)
+		}
 	case *method == "ucq":
 		verdict, err = decideUCQ(db, rules, class)
 	default:

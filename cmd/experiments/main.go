@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	experiments [-exp ID | -exp all] [-quick] [-format table|csv] [-list]
+//	experiments [-exp ID | -exp all] [-quick] [-workers N] [-format table|csv] [-list]
+//
+// The -workers flag sizes the job pool that pool-backed experiments
+// (currently XP-RESTRICTED, the heaviest random-trial sweep) use to run
+// independent points concurrently; timing-sensitive experiments stay
+// sequential on purpose. Tables are identical for any worker count.
 package main
 
 import (
@@ -13,15 +18,17 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (e.g. XP-LB-SL) or 'all'")
-		quick  = flag.Bool("quick", false, "run reduced parameter sweeps")
-		format = flag.String("format", "table", "output format: table or csv")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (e.g. XP-LB-SL) or 'all'")
+		quick   = flag.Bool("quick", false, "run reduced parameter sweeps")
+		format  = flag.String("format", "table", "output format: table or csv")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = cli.WorkersFlag()
 	)
 	flag.Parse()
 
@@ -44,7 +51,7 @@ func main() {
 		selected = []experiments.Experiment{e}
 	}
 
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, Workers: cli.Workers(*workers)}
 	for _, e := range selected {
 		table, err := e.Run(cfg)
 		if err != nil {

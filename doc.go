@@ -22,4 +22,22 @@
 // (internal/parser and rendering) and as the cross-run canonical identity
 // (Instance.CanonicalKey); see the internal/logic package comment for the
 // invariants.
+//
+// The runtime layer (internal/runtime) parallelizes the system on two
+// axes. Within one chase run, each semi-naive round's trigger collection
+// is sharded over the (TGD, seed body atom, delta window) task space
+// across a worker pool: workers match concurrently against the frozen
+// instance (the symbol table has lock-free reads, and instances support
+// concurrent read-only access between rounds), emit candidate triggers
+// into per-task buffers, and the engine merges the buffers back in task
+// order — which equals the sequential enumeration order — before the
+// single-goroutine apply phase. Rounds are thus the barrier between the
+// read-only parallel phase and the mutating sequential phase, and a
+// parallel run is byte-identical (CanonicalKey, stats, forest,
+// derivation) to the sequential engine for all three chase variants.
+// Across runs, a multi-job Pool schedules fleets of independent chase and
+// decision jobs — one per (D, Σ) request, experiment point, or probe —
+// with per-job budgets (atoms, rounds, wall-clock), cancellation, and
+// aggregate statistics. Every tool takes -workers; determinism makes the
+// flag a pure performance knob.
 package repro

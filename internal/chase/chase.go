@@ -17,6 +17,8 @@
 package chase
 
 import (
+	"sync/atomic"
+
 	"repro/internal/logic"
 	"repro/internal/tgds"
 )
@@ -65,6 +67,21 @@ type Options struct {
 	// re-enumerates all homomorphisms. It exists for the ablation
 	// experiment and produces identical results, slower.
 	NoSemiNaive bool
+	// Executor, when non-nil with more than one worker, parallelizes the
+	// trigger-collection phase of each semi-naive round (see parallel.go).
+	// The run remains byte-identical to the sequential engine: shards are
+	// merged back in (TGD index, seed atom, delta window) order before the
+	// single-goroutine apply phase. internal/runtime provides the standard
+	// implementation.
+	Executor Executor
+	// Interrupt, when non-nil, is polled at round boundaries and
+	// periodically inside the collect and apply phases; once it returns
+	// true the run stops and is reported as not terminated. When an
+	// Executor is attached, Interrupt may be polled from worker
+	// goroutines concurrently and must be safe for concurrent use
+	// (runtime.Interrupter is). The multi-job scheduler uses it to
+	// enforce wall-clock budgets and cancellation.
+	Interrupt func() bool
 }
 
 // Stats aggregates counters of a run.
@@ -160,10 +177,22 @@ type engine struct {
 	forest     *Forest
 	derivation *Derivation
 	initial    int
+	workers    []collectWorker // parallel collection: per-worker-slot state
+	taskBuf    []collectTask   // parallel collection: reusable task list
 
 	rounds     int
 	considered int
 	firedCount int
+	stop       bool        // set once Options.Interrupt fires
+	parStop    atomic.Bool // interrupt verdict shared with collect workers
+}
+
+// interrupted polls Options.Interrupt and latches the result.
+func (e *engine) interrupted() bool {
+	if !e.stop && e.opts.Interrupt != nil && e.opts.Interrupt() {
+		e.stop = true
+	}
+	return e.stop
 }
 
 func (e *engine) stats() Stats {
@@ -179,16 +208,30 @@ func (e *engine) stats() Stats {
 }
 
 // run saturates the instance; it returns true when a fixpoint was reached.
+// Rounds are the engine's barrier: collection (possibly sharded across an
+// Executor's workers) only reads the instance, and the subsequent apply
+// phase mutates it from this goroutine alone.
 func (e *engine) run() bool {
 	deltaStart := 0
 	for {
+		if e.interrupted() {
+			return false
+		}
 		if e.opts.MaxRounds > 0 && e.rounds >= e.opts.MaxRounds {
 			return false
 		}
 		e.rounds++
 		pending := e.collect(deltaStart)
+		if e.stop {
+			// Interrupted mid-collection: discard the partial round so the
+			// result is a whole-round prefix of the derivation.
+			return false
+		}
 		deltaStart = e.inst.Len()
 		added := e.apply(pending)
+		if e.stop {
+			return false
+		}
 		if added == 0 {
 			return true
 		}
@@ -209,6 +252,9 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 	if e.rounds == 1 || e.opts.NoSemiNaive {
 		ds = -1
 	}
+	if ds >= 0 && e.opts.Executor != nil && e.opts.Executor.Workers() > 1 {
+		return e.collectParallel(ds)
+	}
 	for ti, t := range e.sigma.TGDs {
 		ti, t := ti, t
 		// Fire at most once per frontier assignment for the semi-oblivious
@@ -216,45 +262,58 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 		// chases. Keys and caches are indexed by the TGD's position in
 		// this run's set, not TGD.ID: the ID field is mutated by any
 		// Set.Add a shared *TGD later participates in.
-		fireVars := t.FrontierIDs()
-		if e.opts.Variant != SemiOblivious {
-			fireVars = t.SortedBodyVarIDs()
-		}
+		fireVars := fireVarsOf(t, e.opts.Variant)
 		e.matcher.MatchAllExt(t.Body, e.inst, ds, func(m *logic.Match) bool {
 			e.considered++
+			if e.opts.Interrupt != nil && e.considered&1023 == 0 && e.interrupted() {
+				return false // bound how far a cancelled run overshoots
+			}
 			e.keyBuf = append(e.keyBuf[:0], int32(ti))
 			e.keyBuf = m.AppendImageIDs(e.keyBuf, fireVars)
 			if _, fresh := e.fired.Intern(e.keyBuf); !fresh {
 				return true
 			}
-			p := pendingTrigger{
-				tgd:    t,
-				tgdIdx: ti,
-				frImgs: m.AppendImageTerms(nil, t.FrontierIDs()),
-			}
-			switch e.opts.Variant {
-			case SemiOblivious:
-				// The fire key just built is (TGD id, frontier image ids):
-				// its tail is exactly frIDs.
-				p.frIDs = append([]int32(nil), e.keyBuf[1:]...)
-				p.keyIDs = p.frIDs
-			case Oblivious:
-				// The null key must capture the full homomorphism; the fire
-				// key's tail is exactly those sorted body-variable images.
-				p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
-				p.keyIDs = append([]int32(nil), e.keyBuf[1:]...)
-			default: // Restricted: fires per full homomorphism, nulls per frontier.
-				p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
-				p.keyIDs = p.frIDs
-			}
-			if e.forest != nil {
-				p.guard = e.inst.Canonical(m.Substitution().ApplyAtom(t.Guard()))
-			}
-			pending = append(pending, p)
+			key := append([]int32(nil), e.keyBuf...)
+			pending = append(pending, e.buildPending(t, ti, key, m))
 			return true
 		})
+		if e.stop {
+			break
+		}
 	}
 	return pending
+}
+
+// buildPending assembles a fresh trigger from a live match. key is the
+// full interned fire key (TGD index, then the key-variable image ids); it
+// must be a stable copy, since the trigger's frIDs/keyIDs alias its tail.
+// Both the sequential collector and the parallel shards build their
+// triggers here, which is what keeps the two byte-identical per match.
+func (e *engine) buildPending(t *tgds.TGD, ti int, key []int32, m *logic.Match) pendingTrigger {
+	p := pendingTrigger{
+		tgd:    t,
+		tgdIdx: ti,
+		frImgs: m.AppendImageTerms(nil, t.FrontierIDs()),
+	}
+	switch e.opts.Variant {
+	case SemiOblivious:
+		// The fire key is (TGD id, frontier image ids): its tail is exactly
+		// frIDs.
+		p.frIDs = key[1:]
+		p.keyIDs = p.frIDs
+	case Oblivious:
+		// The null key must capture the full homomorphism; the fire key's
+		// tail is exactly those sorted body-variable images.
+		p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
+		p.keyIDs = key[1:]
+	default: // Restricted: fires per full homomorphism, nulls per frontier.
+		p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
+		p.keyIDs = p.frIDs
+	}
+	if e.forest != nil {
+		p.guard = e.inst.Canonical(m.Substitution().ApplyAtom(t.Guard()))
+	}
+	return p
 }
 
 // apply fires the pending triggers sequentially and returns the number of
@@ -263,8 +322,11 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 // valid (fair) restricted derivation.
 func (e *engine) apply(pending []pendingTrigger) int {
 	added := 0
-	for _, p := range pending {
+	for pi, p := range pending {
 		if e.opts.MaxAtoms > 0 && e.inst.Len() > e.opts.MaxAtoms {
+			break
+		}
+		if e.opts.Interrupt != nil && pi&255 == 255 && e.interrupted() {
 			break
 		}
 		if e.opts.Variant == Restricted && e.headSatisfied(p) {

@@ -1,0 +1,172 @@
+package chase
+
+// Parallel trigger collection. Each semi-naive round's candidate space is
+// the set of (TGD, seed body atom, delta atom) combinations of the
+// standard decomposition; this file shards it into (TGD index, seed
+// position, delta window) tasks that an Executor runs across a worker
+// pool. Workers only read: the instance (immutable between rounds, see the
+// logic.Instance contract), the fired-trigger interner (probed with the
+// read-only Has), and the symbol table (lock-free). Each worker owns a
+// reusable logic.Matcher and emits candidate triggers into the task's own
+// buffer; the merge then walks the buffers in task order — which, by the
+// MatchShard order-compatibility guarantee, is exactly the order the
+// sequential engine enumerates — and interns trigger keys so that the
+// surviving pending list, and hence the applied chase sequence,
+// CanonicalKey, forest, and derivation, are byte-identical to the
+// sequential engine's for all three variants.
+
+import (
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Executor abstracts the worker pool the parallel collector runs on;
+// internal/runtime provides the standard implementation. Map must invoke
+// task(i, w) exactly once for every i in [0, n), from at most Workers()
+// goroutines, where w in [0, Workers()) identifies the calling worker
+// slot, and must not return before every invocation has completed.
+type Executor interface {
+	Workers() int
+	Map(n int, task func(task, worker int))
+}
+
+// collectTask is one shard: TGD tgdIdx seeded at body position seed, with
+// the seed image's insertion sequence in [lo, hi).
+type collectTask struct {
+	tgdIdx, seed, lo, hi int
+}
+
+// shardCand is a candidate trigger a worker emitted: the pending trigger
+// plus its fire key (TGD index, key-variable image ids), interned at merge
+// time.
+type shardCand struct {
+	p   pendingTrigger
+	key []int32
+}
+
+// collectWorker is one worker slot's reusable state.
+type collectWorker struct {
+	matcher    logic.Matcher
+	keyBuf     []int32
+	seen       *logic.TupleInterner // within-task duplicate filter, reset per task
+	considered int
+}
+
+// chunkTarget is the delta-window width one task should cover at minimum;
+// narrower windows would spend more on task dispatch than on matching.
+const chunkTarget = 128
+
+// collectParallel is collect for semi-naive rounds with an Executor: shard,
+// match concurrently, merge deterministically.
+func (e *engine) collectParallel(deltaStart int) []pendingTrigger {
+	exec := e.opts.Executor
+	deltaEnd := e.inst.Len()
+	chunks := (deltaEnd - deltaStart) / chunkTarget
+	if w := exec.Workers(); chunks > w {
+		chunks = w
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	// Task order is the sequential enumeration order: TGD index, then seed
+	// position, then window. Seeds whose predicate gained no delta atoms
+	// are skipped exactly like the sequential collector does.
+	tasks := e.taskBuf[:0]
+	for ti, t := range e.sigma.TGDs {
+		for seed := range t.Body {
+			if !e.inst.HasDeltaFor(t.Body[seed].PredID(), deltaStart) {
+				continue
+			}
+			span := deltaEnd - deltaStart
+			for c := 0; c < chunks; c++ {
+				lo := deltaStart + span*c/chunks
+				hi := deltaStart + span*(c+1)/chunks
+				if lo < hi {
+					tasks = append(tasks, collectTask{tgdIdx: ti, seed: seed, lo: lo, hi: hi})
+				}
+			}
+		}
+	}
+	e.taskBuf = tasks
+	if e.workers == nil {
+		// Worker-local matchers and key buffers persist across rounds, like
+		// the sequential engine's single reusable matcher.
+		e.workers = make([]collectWorker, exec.Workers())
+	}
+	workers := e.workers
+	out := make([][]shardCand, len(tasks))
+	exec.Map(len(tasks), func(i, w int) {
+		e.collectShard(tasks[i], &workers[w], &out[i], deltaStart)
+	})
+	// Merge: walk the shard buffers in task order and intern fire keys, so
+	// within-round duplicates resolve to the same first occurrence the
+	// sequential engine keeps.
+	var pending []pendingTrigger
+	for i := range out {
+		for _, c := range out[i] {
+			if _, fresh := e.fired.Intern(c.key); fresh {
+				pending = append(pending, c.p)
+			}
+		}
+	}
+	for i := range workers {
+		e.considered += workers[i].considered
+		workers[i].considered = 0
+	}
+	if e.parStop.Load() {
+		e.stop = true
+	}
+	return pending
+}
+
+// collectShard enumerates one task's matches and emits candidate triggers.
+// It mirrors the sequential collector's per-match work exactly, except that
+// duplicate rejection is split three ways: triggers fired in earlier
+// rounds are dropped through the read-only Has probe, duplicates within
+// this task through the worker's local interner (task-internal order
+// equals merge order, so keeping the first occurrence is what the merge
+// would do), and duplicates across tasks at the deterministic merge.
+func (e *engine) collectShard(t collectTask, w *collectWorker, out *[]shardCand, deltaStart int) {
+	tgd := e.sigma.TGDs[t.tgdIdx]
+	fireVars := fireVarsOf(tgd, e.opts.Variant)
+	if w.seen == nil {
+		w.seen = logic.NewTupleInterner()
+	}
+	w.seen.Reset()
+	w.matcher.MatchShard(tgd.Body, e.inst, deltaStart, t.seed, t.lo, t.hi, func(m *logic.Match) bool {
+		w.considered++
+		if e.opts.Interrupt != nil && w.considered&1023 == 0 {
+			// Bound cancellation latency: poll the (concurrency-safe, see
+			// Options.Interrupt) predicate and fan the verdict out through
+			// the shared flag so sibling workers stop too.
+			if e.parStop.Load() {
+				return false
+			}
+			if e.opts.Interrupt() {
+				e.parStop.Store(true)
+				return false
+			}
+		}
+		w.keyBuf = append(w.keyBuf[:0], int32(t.tgdIdx))
+		w.keyBuf = m.AppendImageIDs(w.keyBuf, fireVars)
+		if e.fired.Has(w.keyBuf) {
+			return true // fired in an earlier round
+		}
+		if _, fresh := w.seen.Intern(w.keyBuf); !fresh {
+			return true // duplicate within this task
+		}
+		key := append([]int32(nil), w.keyBuf...)
+		*out = append(*out, shardCand{p: e.buildPending(tgd, t.tgdIdx, key, m), key: key})
+		return true
+	})
+}
+
+// fireVarsOf returns the variables whose images key a trigger's firing:
+// the frontier for the semi-oblivious chase, all (sorted) body variables
+// for the oblivious and restricted chases.
+func fireVarsOf(t *tgds.TGD, v Variant) []int32 {
+	if v == SemiOblivious {
+		return t.FrontierIDs()
+	}
+	return t.SortedBodyVarIDs()
+}

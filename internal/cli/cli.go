@@ -1,16 +1,35 @@
-// Package cli holds the input-loading logic shared by the command-line
-// tools: programs are either a single combined file (facts + rules) or a
-// separate database file and rules file.
+// Package cli holds the input-loading and flag conventions shared by the
+// command-line tools: programs are either a single combined file (facts +
+// rules) or a separate database file and rules file, and every tool that
+// can parallelize takes the same -workers flag.
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/tgds"
 )
+
+// WorkersFlag registers the conventional -workers flag on the standard
+// flag set and returns its target. The zero default resolves to
+// runtime.GOMAXPROCS(0) through Workers.
+func WorkersFlag() *int {
+	return flag.Int("workers", 0, "worker goroutines for parallel phases (0 = GOMAXPROCS)")
+}
+
+// Workers resolves a -workers flag value: n > 0 is used as given, anything
+// else selects runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // LoadInput reads the database and rule set for a tool invocation. When
 // program is non-empty it takes precedence and may mix facts and rules;

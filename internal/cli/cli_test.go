@@ -3,9 +3,22 @@ package cli
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got != want {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS = %d", n, got, want)
+		}
+	}
+}
 
 func write(t *testing.T, name, content string) string {
 	t.Helper()

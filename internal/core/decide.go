@@ -134,13 +134,22 @@ func Decide(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
 // characterizations. The practical atom cap bounds memory; when the exact
 // bound exceeds the cap the procedure may return Unknown.
 func DecideNaive(db *logic.Instance, sigma *tgds.Set, atomCap int) (*Verdict, error) {
+	return DecideNaiveExec(db, sigma, atomCap, nil)
+}
+
+// DecideNaiveExec is DecideNaive with the materialization's trigger
+// collection sharded across the executor's workers (nil or single-worker
+// executors run sequentially). The parallel engine is deterministic, so
+// the verdict — including the exact atom count in the certificate — is
+// identical either way.
+func DecideNaiveExec(db *logic.Instance, sigma *tgds.Set, atomCap int, exec chase.Executor) (*Verdict, error) {
 	class := sigma.Classify()
 	if class == tgds.ClassTGD {
 		return nil, fmt.Errorf("core: the naive procedure needs a size bound, unavailable for arbitrary TGDs")
 	}
 	b := SizeBound(sigma, class)
 	budget, exact := NaiveBudget(db.Len(), b, atomCap)
-	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget})
+	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget, Executor: exec})
 	v := &Verdict{Class: class, Method: "naive chase materialization"}
 	switch {
 	case res.Terminated:

@@ -10,6 +10,14 @@ import (
 // default mode reproduces the numbers recorded in EXPERIMENTS.md.
 type Config struct {
 	Quick bool
+	// Workers bounds the job pool that pool-backed experiments (currently
+	// XP-RESTRICTED, the random-trial sweep) use to run independent sweep
+	// points concurrently (0 selects GOMAXPROCS, 1 forces sequential);
+	// timing-sensitive experiments stay sequential on purpose. Tables are
+	// identical for any worker count: workloads are generated sequentially
+	// so RNG streams stay fixed, and results are tallied in submission
+	// order.
+	Workers int
 }
 
 // Experiment couples an identifier with a runner.

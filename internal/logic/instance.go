@@ -14,7 +14,15 @@ import (
 // semi-naive deltas are deterministic. No string key is built or hashed on
 // any of these paths.
 //
-// Instances are not safe for concurrent mutation.
+// Concurrency contract: an Instance is not safe for concurrent mutation,
+// but while no Add runs, every read — Atoms, Len, Seq, Has, Canonical,
+// ByPred, AtPosition, and homomorphism search over the instance — may be
+// issued from many goroutines simultaneously. The parallel chase collector
+// relies on this: rounds alternate a read-only matching phase (sharded
+// across workers) with a single-goroutine apply phase that mutates the
+// instance. Atom.Key() and methods built on it (String, CanonicalKey,
+// SortAtoms) are excluded from the contract: the key is cached lazily
+// without synchronization, so materialize keys only from one goroutine.
 type Instance struct {
 	// first holds the (almost always unique) atom per hash; overflow
 	// carries further atoms on the rare hash collision, resolved by
@@ -152,6 +160,16 @@ func (in *Instance) ByPred(p Predicate) []*Atom {
 
 // byPredID is ByPred for callers that already hold the interned id.
 func (in *Instance) byPredID(pid int32) []*Atom { return in.byPred[pid] }
+
+// HasDeltaFor reports whether the predicate (by interned id) gained at
+// least one atom with insertion sequence >= deltaStart. Per-predicate
+// lists are in insertion order, so the last atom decides. Semi-naive
+// matching and the parallel collector's shard generation share this probe
+// so their seed-skip decisions cannot diverge.
+func (in *Instance) HasDeltaFor(pid int32, deltaStart int) bool {
+	list := in.byPred[pid]
+	return len(list) > 0 && in.seq[list[len(list)-1]] >= deltaStart
+}
 
 // AtPosition returns the atoms that carry the given term at the given
 // 0-based argument position of the predicate.

@@ -71,24 +71,65 @@ func (mm *Matcher) MatchAllExt(body []*Atom, inst *Instance, deltaStart int, yie
 	for seed := range body {
 		// The seed atom must land in the delta; if its predicate gained no
 		// atoms this round there is nothing to enumerate.
-		if !hasDelta(inst, body[seed].pid, deltaStart) {
+		if !inst.HasDeltaFor(body[seed].pid, deltaStart) {
 			continue
 		}
-		for i := range cons {
-			switch {
-			case i < seed:
-				cons[i] = deltaConstraint{mode: mustBeOld, bound: deltaStart}
-			case i == seed:
-				cons[i] = deltaConstraint{mode: mustBeNew, bound: deltaStart}
-			default:
-				cons[i] = deltaConstraint{}
-			}
-		}
+		m.seedConstraints(cons, seed, deltaStart, deltaStart, maxSeq)
 		m.compile(body, cons, seed)
 		if !m.run(yield) {
 			return
 		}
 	}
+}
+
+// maxSeq is an insertion sequence beyond any real atom (an open upper
+// window bound).
+const maxSeq = int(^uint(0) >> 1)
+
+// seedConstraints fills cons for the semi-naive decomposition with the
+// given seed: atoms before the seed must predate deltaStart, the seed's
+// image must have insertion sequence in [lo, hi), later atoms are free.
+func (m *matcher) seedConstraints(cons []deltaConstraint, seed, deltaStart, lo, hi int) {
+	for i := range cons {
+		switch {
+		case i < seed:
+			cons[i] = deltaConstraint{mode: mustBeOld, bound: deltaStart}
+		case i == seed:
+			cons[i] = deltaConstraint{mode: mustBeNew, bound: lo, hi: hi}
+		default:
+			cons[i] = deltaConstraint{}
+		}
+	}
+}
+
+// MatchShard enumerates one shard of the deltaStart-restricted enumeration
+// of MatchAllExt: the homomorphisms whose semi-naive seed atom is
+// body[seed] and whose seed image has insertion sequence in [lo, hi).
+//
+// Sharding is exact and order-compatible: partitioning [deltaStart,
+// inst.Len()) into windows for every seed position partitions the
+// homomorphisms MatchAllExt yields, and concatenating the shards by
+// (seed, lo) reproduces MatchAllExt's yield order exactly — candidate
+// lists are in insertion order, so the seed atom (placed first in the
+// join) walks its window in the same relative order the full enumeration
+// would. The parallel chase collector relies on this to merge per-shard
+// trigger buffers back into the sequential engine's order.
+//
+// MatchShard only reads the instance, so distinct Matchers may shard the
+// same instance concurrently (see the Instance concurrency contract). It
+// returns false when yield stopped the enumeration.
+func (mm *Matcher) MatchShard(body []*Atom, inst *Instance, deltaStart, seed, lo, hi int, yield func(*Match) bool) bool {
+	m := &mm.m
+	m.view.m = m
+	m.inst = inst
+	m.stopped = false
+	if len(body) == 0 || seed < 0 || seed >= len(body) {
+		return true // no seed space: the empty body matches in no shard
+	}
+	cons := m.anyAgeCons(len(body))
+	m.seedConstraints(cons, seed, deltaStart, lo, hi)
+	m.compile(body, cons, seed)
+	return m.run(yield)
 }
 
 // anyAgeCons returns the matcher's reusable constraint buffer, zeroed.
@@ -102,14 +143,6 @@ func (m *matcher) anyAgeCons(n int) []deltaConstraint {
 		}
 	}
 	return m.consIn
-}
-
-// hasDelta reports whether the predicate has at least one atom with
-// insertion sequence >= deltaStart. Per-predicate lists are in insertion
-// order, so the last atom decides.
-func hasDelta(inst *Instance, pid int32, deltaStart int) bool {
-	list := inst.byPredID(pid)
-	return len(list) > 0 && inst.Seq(list[len(list)-1]) >= deltaStart
 }
 
 // orderBody reorders a body for join evaluation into m.body: the start
@@ -231,7 +264,8 @@ const (
 
 type deltaConstraint struct {
 	mode  constraintMode
-	bound int
+	bound int // mustBeOld: exclusive upper; mustBeNew: inclusive lower
+	hi    int // mustBeNew: exclusive upper (maxSeq when unbounded)
 }
 
 // matcher is a compiled body join. Per ordered body atom, code holds one
@@ -370,7 +404,12 @@ func (m *matcher) sliceByAge(list []*Atom, cons deltaConstraint) []*Atom {
 	switch cons.mode {
 	case mustBeNew:
 		i := sort.Search(len(list), func(k int) bool { return m.inst.Seq(list[k]) >= cons.bound })
-		return list[i:]
+		list = list[i:]
+		if cons.hi < maxSeq {
+			j := sort.Search(len(list), func(k int) bool { return m.inst.Seq(list[k]) >= cons.hi })
+			list = list[:j]
+		}
+		return list
 	case mustBeOld:
 		i := sort.Search(len(list), func(k int) bool { return m.inst.Seq(list[k]) >= cons.bound })
 		return list[:i]

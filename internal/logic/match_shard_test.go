@@ -1,0 +1,72 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// MatchShard must partition MatchAllExt's delta-restricted enumeration:
+// concatenating the shards by (seed, window) has to reproduce the exact
+// yield order, for any window partition of the delta.
+func TestMatchShardPartitionsMatchAllExt(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	x, y, z := Variable("X"), Variable("Y"), Variable("Z")
+	bodies := [][]*Atom{
+		{MakeAtom("e", x, y)},
+		{MakeAtom("e", x, y), MakeAtom("e", y, z)},
+		{MakeAtom("e", x, y), MakeAtom("p", y), MakeAtom("e", y, z)},
+		{MakeAtom("e", x, x), MakeAtom("p", x)},
+	}
+	for trial := 0; trial < 30; trial++ {
+		in := NewInstance()
+		total := 20 + rng.Intn(60)
+		for i := 0; i < total; i++ {
+			a := Constant(string(rune('a' + rng.Intn(8))))
+			b := Constant(string(rune('a' + rng.Intn(8))))
+			if rng.Intn(3) == 0 {
+				in.Add(MakeAtom("p", a))
+			} else {
+				in.Add(MakeAtom("e", a, b))
+			}
+		}
+		deltaStart := rng.Intn(in.Len())
+		render := func(m *Match) string { return m.Substitution().String() }
+		for _, body := range bodies {
+			var want []string
+			var mm Matcher
+			mm.MatchAllExt(body, in, deltaStart, func(m *Match) bool {
+				want = append(want, render(m))
+				return true
+			})
+			// Concatenate shards: for each seed, random windows over the delta.
+			var got []string
+			for seed := range body {
+				lo := deltaStart
+				for lo < in.Len() {
+					hi := lo + 1 + rng.Intn(in.Len()-lo)
+					if rng.Intn(4) == 0 {
+						hi = maxSeq // occasionally an open window
+					}
+					mm.MatchShard(body, in, deltaStart, seed, lo, hi, func(m *Match) bool {
+						got = append(got, render(m))
+						return true
+					})
+					if hi == maxSeq {
+						break
+					}
+					lo = hi
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d body %v: shards yield %d matches, full enumeration %d",
+					trial, body, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d body %v: match %d differs: shard order %q, full order %q",
+						trial, body, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

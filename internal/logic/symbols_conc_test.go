@@ -1,0 +1,134 @@
+package logic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The symbol table must hand out one stable id per distinct symbol under
+// concurrent interning, and every published id must resolve back through
+// the lock-free read paths. Run with -race to exercise the memory-model
+// claims of the Symbols doc comment.
+func TestSymbolsConcurrentIntern(t *testing.T) {
+	const goroutines = 8
+	const perKind = 300
+
+	type obs struct {
+		termIDs map[string]int32 // term key -> id observed by this goroutine
+		predIDs map[string]int32 // pred string -> id
+	}
+	results := make([]obs, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			o := obs{termIDs: make(map[string]int32), predIDs: make(map[string]int32)}
+			// Every goroutine interns the same shared symbols (contended
+			// first-intern races) plus a private tail (writer throughput),
+			// interleaved with lock-free reads.
+			for i := 0; i < perKind; i++ {
+				shared := []Term{
+					Constant(fmt.Sprintf("c%d", i)),
+					Variable(fmt.Sprintf("V%d", i)),
+					Fresh(i),
+				}
+				private := Constant(fmt.Sprintf("c-g%d-%d", g, i))
+				for _, trm := range append(shared, private) {
+					id := IDOf(trm)
+					o.termIDs[trm.Key()] = id
+					// Round-trip through the dense view; nulls aside, every
+					// interned term must resolve.
+					if back := TermOfID(id); back == nil || back.Key() != trm.Key() {
+						t.Errorf("TermOfID(%d) = %v, want %v", id, back, trm)
+						return
+					}
+				}
+				p := Predicate{Name: fmt.Sprintf("p%d", i%17), Arity: 1 + i%3}
+				pid := PredIDOf(p)
+				o.predIDs[p.String()] = pid
+				if back := PredOfID(pid); back != p {
+					t.Errorf("PredOfID(%d) = %v, want %v", pid, back, p)
+					return
+				}
+			}
+			results[g] = o
+		}(g)
+	}
+	wg.Wait()
+
+	// All goroutines must agree on every id they observed.
+	for g := 1; g < goroutines; g++ {
+		for key, id := range results[g].termIDs {
+			if prev, ok := results[0].termIDs[key]; ok && prev != id {
+				t.Fatalf("term %q interned as %d and %d", key, prev, id)
+			}
+		}
+		for p, id := range results[g].predIDs {
+			if prev, ok := results[0].predIDs[p]; ok && prev != id {
+				t.Fatalf("predicate %s interned as %d and %d", p, prev, id)
+			}
+		}
+	}
+}
+
+// Concurrent atom construction drives internAtom (predicate + argument
+// interning) from many goroutines; ids must make structurally equal atoms
+// compare equal regardless of which goroutine interned their symbols first.
+func TestAtomsConcurrentConstruction(t *testing.T) {
+	const goroutines = 8
+	atoms := make([][]*Atom, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := MakeAtom("edge",
+					Constant(fmt.Sprintf("n%d", i%23)),
+					Constant(fmt.Sprintf("n%d", (i+1)%23)))
+				atoms[g] = append(atoms[g], a)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i, a := range atoms[g] {
+			if !a.Equal(atoms[0][i]) {
+				t.Fatalf("goroutine %d atom %d (%v) != goroutine 0's (%v)", g, i, a, atoms[0][i])
+			}
+		}
+	}
+}
+
+// TupleInterner.Has must answer read-only membership probes from many
+// goroutines while the interner is frozen (the parallel collector's
+// prior-round duplicate pre-filter).
+func TestTupleInternerConcurrentHas(t *testing.T) {
+	ti := NewTupleInterner()
+	var tuples [][]int32
+	for i := int32(0); i < 500; i++ {
+		tup := []int32{i, i * 7 % 31, -i}
+		ti.Intern(tup)
+		tuples = append(tuples, tup)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, tup := range tuples {
+				if !ti.Has(tup) {
+					t.Errorf("goroutine %d: interned tuple %v not found", g, tup)
+					return
+				}
+				if ti.Has([]int32{int32(i), 9999, 9999}) {
+					t.Errorf("goroutine %d: absent tuple reported present", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -18,8 +18,11 @@
 // by the trigger that invents it, restricted to the frontier, and the
 // existential variable it stands for).
 //
-// Like Instance, atoms and the symbol table are not safe for concurrent
-// mutation; the package assumes single-goroutine use.
+// Concurrency: the process-wide symbol table is safe for concurrent use
+// with lock-free reads (see symbols.go), and instances support concurrent
+// read-only access between mutations (see the Instance contract). Atoms
+// are immutable apart from the lazily cached Key string, and null
+// factories are single-goroutine like the chase engine that owns them.
 package logic
 
 import (

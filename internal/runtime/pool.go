@@ -1,0 +1,184 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Budget bounds one job. Zero fields are unlimited; atom and round budgets
+// apply to chase jobs (they map onto chase.Options), the wall-clock budget
+// to any job that honors its context.
+type Budget struct {
+	MaxAtoms  int
+	MaxRounds int
+	Wall      time.Duration
+}
+
+// Job is one unit of scheduled work. Run receives a context that is
+// cancelled when the job's wall-clock budget expires or the pool is
+// cancelled; jobs are expected to return promptly once the context is done
+// (chase jobs poll it through Options.Interrupt).
+type Job struct {
+	Name string
+	Wall time.Duration // wall-clock budget; 0 = none
+	Run  func(ctx context.Context) (any, error)
+}
+
+// JobResult is one job's outcome, reported in submission order.
+type JobResult struct {
+	Name     string
+	Index    int
+	Value    any
+	Err      error
+	Wall     time.Duration // the job's own wall-clock
+	TimedOut bool          // the job's wall budget expired
+	// Canceled reports that the pool's cancellation preempted the job: it
+	// was skipped before starting, or surfaced the cancellation as its
+	// error. A job that absorbs the cancellation and still returns a value
+	// counts as succeeded — chase jobs report truncation through
+	// Result.Terminated, not here.
+	Canceled bool
+}
+
+// Stats aggregates one pool run.
+type Stats struct {
+	Jobs      int
+	Succeeded int
+	Failed    int // Err != nil (cancelled jobs count as Canceled, not Failed)
+	TimedOut  int
+	Canceled  int
+	JobWall   time.Duration // summed per-job wall-clock (parallel work volume)
+	Wall      time.Duration // the pool's own wall-clock
+}
+
+// Pool schedules a batch of independent jobs over a bounded worker set.
+// Submit jobs, then call Run once; a Pool is single-use. Jobs are claimed
+// dynamically, so long jobs do not starve short ones beyond the worker
+// count, and results always come back in submission order regardless of
+// completion order.
+type Pool struct {
+	workers int
+	jobs    []Job
+}
+
+// NewPool returns a pool with the given number of workers; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	return &Pool{workers: NewExecutor(workers).Workers()}
+}
+
+// Workers returns the number of job workers.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit queues a job. Submit is not safe for concurrent use and must
+// precede Run.
+func (p *Pool) Submit(j Job) { p.jobs = append(p.jobs, j) }
+
+// Run executes the submitted jobs and returns their results in submission
+// order together with aggregate statistics. Cancelling ctx stops the pool:
+// running jobs see their contexts cancelled, queued jobs are skipped and
+// reported as Canceled.
+func (p *Pool) Run(ctx context.Context) ([]JobResult, Stats) {
+	start := time.Now()
+	results := make([]JobResult, len(p.jobs))
+	exec := &Executor{workers: p.workers}
+	exec.Map(len(p.jobs), func(i, _ int) {
+		j := p.jobs[i]
+		r := JobResult{Name: j.Name, Index: i}
+		if ctx.Err() != nil {
+			r.Err = ctx.Err()
+			r.Canceled = true
+			results[i] = r
+			return
+		}
+		jctx := ctx
+		cancel := func() {}
+		if j.Wall > 0 {
+			jctx, cancel = context.WithTimeout(ctx, j.Wall)
+		}
+		t0 := time.Now()
+		r.Value, r.Err = j.Run(jctx)
+		r.Wall = time.Since(t0)
+		// TimedOut means the job's own wall budget expired; a pool-level
+		// deadline is the caller's event, not a per-job one.
+		r.TimedOut = j.Wall > 0 && jctx.Err() == context.DeadlineExceeded && ctx.Err() == nil
+		// Preemption by the pool — parent cancellation or a pool-level
+		// deadline — surfaces as the parent context's error; classify both
+		// as Canceled, keeping Failed for the job's own errors. A job that
+		// absorbs the preemption and still returns a value keeps its
+		// result (chase jobs report truncation through Terminated ==
+		// false instead).
+		r.Canceled = r.Err != nil && ctx.Err() != nil && errors.Is(r.Err, ctx.Err())
+		cancel()
+		results[i] = r
+	})
+	stats := Stats{Jobs: len(p.jobs), Wall: time.Since(start)}
+	for _, r := range results {
+		stats.JobWall += r.Wall
+		switch {
+		case r.Canceled:
+			stats.Canceled++
+		case r.TimedOut:
+			stats.TimedOut++
+		case r.Err != nil:
+			stats.Failed++
+		default:
+			stats.Succeeded++
+		}
+	}
+	return results, stats
+}
+
+// RunJobs is a one-shot pool: it runs the jobs over the given number of
+// workers (<= 0 selects GOMAXPROCS) under ctx.
+func RunJobs(ctx context.Context, workers int, jobs []Job) ([]JobResult, Stats) {
+	p := NewPool(workers)
+	for _, j := range jobs {
+		p.Submit(j)
+	}
+	return p.Run(ctx)
+}
+
+// Interrupter adapts a context to chase.Options.Interrupt: it reports true
+// once the context is done.
+func Interrupter(ctx context.Context) func() bool {
+	return func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// ChaseJob builds a Job that chases db with sigma under opts, bounded by
+// the budget. The budget's atom and round caps override the corresponding
+// opts fields when set; the wall-clock budget is enforced through the
+// job's context and chase.Options.Interrupt. exec (which may be nil)
+// parallelizes trigger collection within the job. The job's value is the
+// *chase.Result; a run that exhausted any budget comes back with
+// Terminated == false, never as an error.
+func ChaseJob(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) Job {
+	if b.MaxAtoms > 0 {
+		opts.MaxAtoms = b.MaxAtoms
+	}
+	if b.MaxRounds > 0 {
+		opts.MaxRounds = b.MaxRounds
+	}
+	opts.Executor = exec
+	return Job{
+		Name: name,
+		Wall: b.Wall,
+		Run: func(ctx context.Context) (any, error) {
+			o := opts
+			o.Interrupt = Interrupter(ctx)
+			return chase.Run(db, sigma, o), nil
+		},
+	}
+}

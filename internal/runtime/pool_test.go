@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+func TestPoolResultsInSubmissionOrder(t *testing.T) {
+	p := NewPool(4)
+	const n = 40
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(Job{Name: fmt.Sprintf("job-%d", i), Run: func(context.Context) (any, error) {
+			return i * i, nil
+		}})
+	}
+	results, stats := p.Run(context.Background())
+	if len(results) != n {
+		t.Fatalf("%d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != fmt.Sprintf("job-%d", i) || r.Value != i*i || r.Err != nil {
+			t.Fatalf("result %d out of order or wrong: %+v", i, r)
+		}
+	}
+	if stats.Jobs != n || stats.Succeeded != n || stats.Failed+stats.TimedOut+stats.Canceled != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPoolAggregatesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPool(2)
+	p.Submit(Job{Name: "ok", Run: func(context.Context) (any, error) { return 1, nil }})
+	p.Submit(Job{Name: "bad", Run: func(context.Context) (any, error) { return nil, boom }})
+	results, stats := p.Run(context.Background())
+	if results[1].Err != boom {
+		t.Fatalf("err = %v, want boom", results[1].Err)
+	}
+	if stats.Succeeded != 1 || stats.Failed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPoolWallBudgetTimesOut(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(Job{Name: "slow", Wall: 10 * time.Millisecond, Run: func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return "stopped", nil
+	}})
+	results, stats := p.Run(context.Background())
+	if !results[0].TimedOut || results[0].Value != "stopped" {
+		t.Fatalf("result = %+v, want timed-out with value", results[0])
+	}
+	if stats.TimedOut != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// A pool-level deadline is the caller's event: a running job that
+// surfaces it must be classified Canceled (like the queued jobs the same
+// expiry skips), not Failed, and never TimedOut.
+func TestPoolParentDeadlineClassifiedCanceled(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	p := NewPool(1)
+	p.Submit(Job{Name: "obedient", Run: func(jctx context.Context) (any, error) {
+		<-jctx.Done()
+		return nil, jctx.Err()
+	}})
+	results, stats := p.Run(ctx)
+	if !results[0].Canceled || results[0].TimedOut {
+		t.Fatalf("result = %+v, want Canceled and not TimedOut", results[0])
+	}
+	if stats.Canceled != 1 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPoolCancellationSkipsQueuedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(1)
+	p.Submit(Job{Name: "canceller", Run: func(context.Context) (any, error) {
+		cancel()
+		return nil, nil
+	}})
+	const queued = 5
+	for i := 0; i < queued; i++ {
+		p.Submit(Job{Name: "queued", Run: func(context.Context) (any, error) {
+			return nil, nil
+		}})
+	}
+	results, stats := p.Run(ctx)
+	if stats.Canceled != queued {
+		t.Fatalf("stats = %+v, want %d cancelled", stats, queued)
+	}
+	for _, r := range results[1:] {
+		if !r.Canceled || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("queued job result %+v, want cancelled", r)
+		}
+	}
+}
+
+// A wall budget must bound the run even when a single round's collection
+// phase dwarfs it: Interrupt is polled inside collection (sequentially and
+// from shard workers), so the overshoot is bounded by the poll interval,
+// not by the round.
+func TestChaseJobWallBudgetInterruptsCollectPhase(t *testing.T) {
+	// Round 2 collects the e × e cross join (~2.25M matches) in one round.
+	db := logic.NewInstance()
+	for i := 0; i < 1500; i++ {
+		db.Add(logic.MakeAtom("s", logic.Constant(fmt.Sprintf("c%d", i))))
+	}
+	sigma := parser.MustParseRules(`
+		s(X) -> e(X, X).
+		e(X, Y), e(Z, W) -> p(X).
+	`)
+	start := time.Now()
+	for _, exec := range []*Executor{nil, NewExecutor(4)} {
+		p := NewPool(1)
+		p.Submit(ChaseJob("cross-join", db, sigma, chase.Options{},
+			Budget{Wall: 20 * time.Millisecond}, exec))
+		results, _ := p.Run(context.Background())
+		res := results[0].Value.(*chase.Result)
+		if res.Terminated {
+			t.Fatal("wall-capped cross join reported termination")
+		}
+	}
+	// Generous bound: an un-polled collect phase would run the full cross
+	// join (hundreds of milliseconds to seconds, more under -race).
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wall budget overshot the collect phase: %v elapsed", elapsed)
+	}
+}
+
+func TestChaseJobBudgets(t *testing.T) {
+	db := parser.MustParseDatabase(`e(a, b).`)
+	infinite := parser.MustParseRules(`e(X, Y) -> ∃Z e(Y, Z).`)
+	finite := parser.MustParseRules(`e(X, Y) -> p(X).`)
+
+	p := NewPool(2)
+	p.Submit(ChaseJob("finite", db, finite, chase.Options{}, Budget{}, nil))
+	p.Submit(ChaseJob("atom-capped", db, infinite, chase.Options{}, Budget{MaxAtoms: 50}, nil))
+	p.Submit(ChaseJob("round-capped", db, infinite, chase.Options{}, Budget{MaxRounds: 7}, nil))
+	// MaxRounds backstops the wall-clock budget so a broken Interrupt cannot
+	// hang the test; the wall budget fires orders of magnitude earlier.
+	p.Submit(ChaseJob("wall-capped", db, infinite, chase.Options{},
+		Budget{Wall: 30 * time.Millisecond, MaxRounds: 1 << 30}, nil))
+	results, stats := p.Run(context.Background())
+
+	fin := results[0].Value.(*chase.Result)
+	if !fin.Terminated || fin.Instance.Len() != 2 {
+		t.Fatalf("finite job: %+v", fin.Stats)
+	}
+	atoms := results[1].Value.(*chase.Result)
+	if atoms.Terminated || atoms.Instance.Len() <= 50 {
+		t.Fatalf("atom-capped job terminated=%v len=%d", atoms.Terminated, atoms.Instance.Len())
+	}
+	rounds := results[2].Value.(*chase.Result)
+	if rounds.Terminated || rounds.Stats.Rounds != 7 {
+		t.Fatalf("round-capped job terminated=%v rounds=%d", rounds.Terminated, rounds.Stats.Rounds)
+	}
+	wall := results[3].Value.(*chase.Result)
+	if wall.Terminated {
+		t.Fatal("wall-capped job reported termination")
+	}
+	if !results[3].TimedOut {
+		t.Fatalf("wall-capped job not flagged TimedOut: %+v", results[3])
+	}
+	if stats.Succeeded != 3 || stats.TimedOut != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestExecutorMapCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		exec := NewExecutor(workers)
+		if exec.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", exec.Workers(), workers)
+		}
+		const n = 500
+		var counts [n]atomic.Int32
+		exec.Map(n, func(i, w int) {
+			counts[i].Add(1)
+			if w < 0 || w >= workers {
+				t.Errorf("worker slot %d out of range [0, %d)", w, workers)
+			}
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestExecutorDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewExecutor(0).Workers() < 1 {
+		t.Fatal("default executor must have at least one worker")
+	}
+}
+
+func TestExecutorMapZeroTasks(t *testing.T) {
+	NewExecutor(4).Map(0, func(i, w int) { t.Error("task ran for n=0") })
+}
+
+func TestExecutorWorkerLocalState(t *testing.T) {
+	// Worker-local accumulators must add up without synchronization in the
+	// task body — the property the chase's per-worker matchers rely on.
+	exec := NewExecutor(4)
+	local := make([]int, exec.Workers())
+	const n = 1000
+	exec.Map(n, func(i, w int) { local[w]++ })
+	total := 0
+	for _, c := range local {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("worker-local counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestExecutorMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	NewExecutor(4).Map(64, func(i, w int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Map returned normally despite panicking task")
+}
