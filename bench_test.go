@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	goruntime "runtime"
 	"testing"
 
 	"repro/internal/chase"
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/experiments"
@@ -24,6 +26,16 @@ import (
 	"repro/internal/simplify"
 	"repro/internal/tm"
 )
+
+// requireMultiCore skips benchmarks whose parallel-vs-sequential numbers
+// are misleading on a single-core runner: with one CPU the workers only
+// add scheduling overhead, so the recorded "speedup" would be noise.
+func requireMultiCore(b *testing.B) {
+	b.Helper()
+	if n := goruntime.NumCPU(); n < 2 {
+		b.Skipf("parallel benchmark skipped: single-core runner (NumCPU=%d) reports misleading numbers", n)
+	}
+}
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -102,6 +114,7 @@ func BenchmarkChaseGuarded(b *testing.B) {
 // the intra-run speedup; on a single-core host it measures the sharding
 // overhead instead).
 func BenchmarkChaseGuardedParallel(b *testing.B) {
+	requireMultiCore(b)
 	w := families.GLower(1, 1, 1)
 	exec := rt.NewExecutor(4)
 	b.ResetTimer()
@@ -116,6 +129,7 @@ func BenchmarkChaseGuardedParallel(b *testing.B) {
 // BenchmarkTuringChaseParallel is BenchmarkTuringChase with a 4-worker
 // executor.
 func BenchmarkTuringChaseParallel(b *testing.B) {
+	requireMultiCore(b)
 	m := tm.BounceAndHalt(2)
 	db := m.Database()
 	sigma := tm.FixedSigma()
@@ -137,6 +151,9 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	w := families.SLLower(2, 2, 2)
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			if workers > 1 {
+				requireMultiCore(b)
+			}
 			for i := 0; i < b.N; i++ {
 				p := rt.NewPool(workers)
 				for j := 0; j < jobs; j++ {
@@ -152,6 +169,119 @@ func BenchmarkPoolThroughput(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPoolCompileCache measures the cross-request compilation cache
+// on the serving shapes it exists for: fleets of jobs sharing one Σ.
+// "cold" fleets rebuild Σ's artifacts inside every job, "warm" fleets
+// share a pre-populated compile.Cache; the cold-vs-warm delta is the
+// per-job compilation saving recorded in BENCH_cache.json. Single-worker
+// pools keep the comparison meaningful on single-core runners.
+//
+// Two fleet shapes bound the effect. chase fleets only save the engine's
+// per-run program compilation (deliberately cheap and lazy since the
+// interned-ID rework, so the delta is small); decide fleets run the
+// chtrm -method ucq serving path, where the per-job saving is the whole
+// simplification + dependency-graph + UCQ construction and the cache
+// pays for itself immediately.
+func BenchmarkPoolCompileCache(b *testing.B) {
+	b.Run("chase", func(b *testing.B) {
+		const jobs = 32
+		w := families.GLower(1, 1, 1) // 40+ guarded TGDs, multi-round chase
+		runFleet := func(b *testing.B, comp chase.Compiler) {
+			for i := 0; i < b.N; i++ {
+				p := rt.NewPool(1)
+				p.Compiler = comp
+				for j := 0; j < jobs; j++ {
+					p.SubmitChase(fmt.Sprintf("job-%d", j), w.Database, w.Sigma, chase.Options{}, rt.Budget{}, nil)
+				}
+				_, stats := p.Run(context.Background())
+				if stats.Succeeded != jobs {
+					b.Fatalf("stats = %+v", stats)
+				}
+			}
+		}
+		b.Run("cold", func(b *testing.B) { runFleet(b, nil) })
+		b.Run("warm", func(b *testing.B) {
+			cache := compile.NewCache(8)
+			cache.CompiledChase(w.Sigma)
+			b.ResetTimer()
+			runFleet(b, cache)
+		})
+	})
+	b.Run("decide-ucq", func(b *testing.B) {
+		const jobs = 64
+		w := families.LLower(1, 2, 1) // arity-4 linear set: simplification-heavy
+		dbs := make([]*logic.Instance, jobs)
+		for j := range dbs {
+			dbs[j] = logic.NewDatabase(logic.MakeAtom("q2",
+				logic.Constant(string(rune('a'+j%26)))))
+		}
+		// Failures surface as job errors, never as b.Fatal from a pool
+		// worker goroutine (testing.B forbids FailNow off the benchmark
+		// goroutine).
+		decide := func(db *logic.Instance, build func() (core.UCQ, error)) error {
+			q, err := build()
+			if err != nil {
+				return err
+			}
+			if q.EvalExact(db) {
+				return fmt.Errorf("unreachable predicate must not satisfy Q")
+			}
+			return nil
+		}
+		runFleet := func(b *testing.B, build func() (core.UCQ, error)) {
+			for i := 0; i < b.N; i++ {
+				p := rt.NewPool(1)
+				for j := 0; j < jobs; j++ {
+					db := dbs[j]
+					p.Submit(rt.Job{Name: fmt.Sprintf("decide-%d", j), Run: func(context.Context) (any, error) {
+						return nil, decide(db, build)
+					}})
+				}
+				results, stats := p.Run(context.Background())
+				if stats.Succeeded != jobs {
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatalf("%s: %v", r.Name, r.Err)
+						}
+					}
+					b.Fatalf("stats = %+v", stats)
+				}
+			}
+		}
+		b.Run("cold", func(b *testing.B) {
+			runFleet(b, func() (core.UCQ, error) { return core.BuildUCQL(w.Sigma) })
+		})
+		b.Run("warm", func(b *testing.B) {
+			cache := compile.NewCache(8)
+			if _, err := cache.UCQL(w.Sigma); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			runFleet(b, func() (core.UCQ, error) { return cache.UCQL(w.Sigma) })
+		})
+	})
+}
+
+// BenchmarkCompileSet measures the one-time cost a cache hit avoids:
+// compiling every per-TGD head and body program of an analysis-heavy Σ.
+func BenchmarkCompileSet(b *testing.B) {
+	w := families.GLower(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chase.Compile(w.Sigma)
+	}
+}
+
+// BenchmarkFingerprint measures the cache's key function (also the
+// wire-level schema identity of the distributed-sharding roadmap item).
+func BenchmarkFingerprint(b *testing.B) {
+	w := families.GLower(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compile.Of(w.Sigma)
 	}
 }
 

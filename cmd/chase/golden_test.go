@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cli/clitest"
+)
+
+// End-to-end goldens over examples/dlgp: full stdout, checked at
+// -workers=1 and -workers=4 (byte-identical by the determinism contract).
+func TestChaseGolden(t *testing.T) {
+	clitest.Golden(t, run, []clitest.Case{
+		{
+			Name: "quickstart-pretty",
+			Argv: []string{"-program", clitest.Example("quickstart.dlgp")},
+		},
+		{
+			Name: "quickstart-dlgp",
+			Argv: []string{"-program", clitest.Example("quickstart.dlgp"), "-format", "dlgp", "-stats"},
+		},
+		{
+			Name: "quickstart-oblivious",
+			Argv: []string{"-program", clitest.Example("quickstart.dlgp"), "-engine", "oblivious", "-format", "dlgp"},
+		},
+		{
+			Name: "infinite-budget",
+			Argv: []string{"-program", clitest.Example("infinite.dlgp"), "-max-atoms", "50", "-quiet", "-stats"},
+			Exit: 1,
+		},
+		{
+			Name: "guarded-restricted",
+			Argv: []string{"-program", clitest.Example("guarded.dlgp"), "-engine", "restricted", "-max-atoms", "60", "-format", "dlgp"},
+			Exit: 1,
+		},
+		{
+			Name: "linear-semi",
+			Argv: []string{"-program", clitest.Example("linear.dlgp"), "-format", "dlgp"},
+		},
+	})
+}

@@ -10,38 +10,58 @@
 // Facts and rules may also live in a single file passed via -program.
 // With more than one worker, trigger collection is sharded across a
 // worker pool; the result is byte-identical to the sequential engine.
+// Compiled per-TGD programs are fetched from the process-wide compilation
+// cache (internal/compile), so repeated runs over one ontology — or many
+// tools in one process — pay analysis once; -stats reports the cache
+// interaction.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/chase"
 	"repro/internal/cli"
+	"repro/internal/compile"
 	"repro/internal/logic"
 	"repro/internal/parser"
 	rt "repro/internal/runtime"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, executes, writes the
+// result to stdout and diagnostics to stderr, and returns the exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chase", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataPath  = flag.String("data", "", "database file (facts)")
-		rulesPath = flag.String("rules", "", "rules file (TGDs)")
-		program   = flag.String("program", "", "combined program file (facts + rules)")
-		engine    = flag.String("engine", "semi", "chase variant: semi, oblivious, restricted")
-		maxAtoms  = flag.Int("max-atoms", 1000000, "atom budget (0 = unlimited)")
-		stats     = flag.Bool("stats", false, "print run statistics")
-		quiet     = flag.Bool("quiet", false, "suppress the result instance")
-		format    = flag.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
-		workers   = cli.WorkersFlag()
+		dataPath  = fs.String("data", "", "database file (facts)")
+		rulesPath = fs.String("rules", "", "rules file (TGDs)")
+		program   = fs.String("program", "", "combined program file (facts + rules)")
+		engine    = fs.String("engine", "semi", "chase variant: semi, oblivious, restricted")
+		maxAtoms  = fs.Int("max-atoms", 1000000, "atom budget (0 = unlimited)")
+		stats     = fs.Bool("stats", false, "print run statistics")
+		quiet     = fs.Bool("quiet", false, "suppress the result instance")
+		format    = fs.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
+		workers   = cli.WorkersFlag(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful invocation, not CLI misuse
+		}
+		return 2
+	}
 
 	db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chase:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "chase:", err)
+		return 2
 	}
 	var variant chase.Variant
 	switch *engine {
@@ -52,11 +72,11 @@ func main() {
 	case "restricted", "standard":
 		variant = chase.Restricted
 	default:
-		fmt.Fprintf(os.Stderr, "chase: unknown engine %q\n", *engine)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "chase: unknown engine %q\n", *engine)
+		return 2
 	}
 
-	opts := chase.Options{Variant: variant, MaxAtoms: *maxAtoms}
+	opts := chase.Options{Variant: variant, MaxAtoms: *maxAtoms, Compile: compile.Global()}
 	if w := cli.Workers(*workers); w > 1 {
 		opts.Executor = rt.NewExecutor(w)
 	}
@@ -64,30 +84,31 @@ func main() {
 	if !*quiet {
 		switch *format {
 		case "dlgp":
-			if err := parser.FormatDatabase(os.Stdout, res.Instance); err != nil {
-				fmt.Fprintln(os.Stderr, "chase:", err)
-				os.Exit(1)
+			if err := parser.FormatDatabase(stdout, res.Instance); err != nil {
+				fmt.Fprintln(stderr, "chase:", err)
+				return 1
 			}
 		default:
 			atoms := make([]*logic.Atom, len(res.Instance.Atoms()))
 			copy(atoms, res.Instance.Atoms())
 			for _, a := range logic.SortAtoms(atoms) {
-				fmt.Println(a)
+				fmt.Fprintln(stdout, a)
 			}
 		}
 	}
 	if !res.Terminated {
-		fmt.Fprintf(os.Stderr, "chase: budget exhausted after %d atoms; the chase may be infinite\n",
+		fmt.Fprintf(stderr, "chase: budget exhausted after %d atoms; the chase may be infinite\n",
 			res.Instance.Len())
 	}
 	if *stats {
 		s := res.Stats
-		fmt.Fprintf(os.Stderr,
-			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v\n",
+		fmt.Fprintf(stderr,
+			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v cache=%s\n",
 			variant, s.Atoms, s.InitialAtoms, s.Rounds, s.TriggersFired, s.TriggersConsidered,
-			s.Nulls, s.MaxDepth, res.Terminated)
+			s.Nulls, s.MaxDepth, res.Terminated, cli.CacheState(s))
 	}
 	if !res.Terminated {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

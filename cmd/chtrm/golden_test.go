@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cli/clitest"
+)
+
+// End-to-end goldens over examples/dlgp: full stdout, checked at
+// -workers=1 and -workers=4 (the flag parallelizes the naive probe; every
+// method's verdict is byte-identical for any worker count).
+func TestChtrmGolden(t *testing.T) {
+	clitest.Golden(t, run, []clitest.Case{
+		{
+			Name: "quickstart-syntactic",
+			Argv: []string{"-program", clitest.Example("quickstart.dlgp")},
+		},
+		{
+			Name: "infinite-syntactic",
+			Argv: []string{"-program", clitest.Example("infinite.dlgp"), "-show-bounds"},
+			Exit: 1,
+		},
+		{
+			// The exact bound |D|·f_SL(Σ) exceeds any practical cap here,
+			// so the budgeted probe answers Unknown (exit 3).
+			Name: "infinite-naive",
+			Argv: []string{"-program", clitest.Example("infinite.dlgp"), "-method", "naive", "-max-atoms", "2000"},
+			Exit: 3,
+		},
+		{
+			Name: "quickstart-naive",
+			Argv: []string{"-program", clitest.Example("quickstart.dlgp"), "-method", "naive"},
+		},
+		{
+			Name: "infinite-ucq",
+			Argv: []string{"-program", clitest.Example("infinite.dlgp"), "-method", "ucq"},
+			Exit: 1,
+		},
+		{
+			Name: "linear-syntactic",
+			Argv: []string{"-program", clitest.Example("linear.dlgp"), "-show-bounds"},
+		},
+		{
+			Name: "linear-ucq",
+			Argv: []string{"-program", clitest.Example("linear.dlgp"), "-method", "ucq"},
+		},
+		{
+			Name: "guarded-syntactic",
+			Argv: []string{"-program", clitest.Example("guarded.dlgp")},
+			Exit: 1,
+		},
+		{
+			// The exact guarded bound dwarfs the practical cap, so the
+			// budgeted probe answers Unknown (exit 3).
+			Name: "guarded-naive",
+			Argv: []string{"-program", clitest.Example("guarded.dlgp"), "-method", "naive", "-max-atoms", "5000"},
+			Exit: 3,
+		},
+		{
+			Name: "quickstart-uniform",
+			Argv: []string{"-program", clitest.Example("quickstart.dlgp"), "-uniform"},
+		},
+		{
+			// Class TGD: undecidable non-uniformly, but classical weak
+			// acyclicity is a sufficient uniform condition.
+			Name: "unguarded-uniform",
+			Argv: []string{"-program", clitest.Example("unguarded.dlgp"), "-uniform"},
+		},
+	})
+}

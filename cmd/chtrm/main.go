@@ -12,100 +12,119 @@
 //
 // The -workers flag parallelizes the naive method's chase-materialization
 // probe (the simulation that runs the chase against its restricted
-// budget); the verdict is byte-identical to the sequential probe.
+// budget); the verdict is byte-identical to the sequential probe. The
+// naive probe's compiled programs and the ucq method's UCQ build are
+// served by the process-wide compilation cache (internal/compile), keyed
+// by Σ's canonical fingerprint.
 //
 // Exit status: 0 terminating, 1 non-terminating, 3 unknown.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/depgraph"
 	"repro/internal/logic"
 	rt "repro/internal/runtime"
 	"repro/internal/tgds"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, executes, writes the
+// result to stdout and diagnostics to stderr, and returns the exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chtrm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataPath   = flag.String("data", "", "database file (facts)")
-		rulesPath  = flag.String("rules", "", "rules file (TGDs)")
-		program    = flag.String("program", "", "combined program file (facts + rules)")
-		method     = flag.String("method", "syntactic", "decision method: syntactic, naive, ucq")
-		maxAtoms   = flag.Int("max-atoms", 1000000, "atom cap for the naive method")
-		showBounds = flag.Bool("show-bounds", false, "print d_C(Σ) and f_C(Σ)")
-		dotPath    = flag.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
-		uniform    = flag.Bool("uniform", false, "decide uniform termination (every database) instead")
-		workers    = cli.WorkersFlag()
+		dataPath   = fs.String("data", "", "database file (facts)")
+		rulesPath  = fs.String("rules", "", "rules file (TGDs)")
+		program    = fs.String("program", "", "combined program file (facts + rules)")
+		method     = fs.String("method", "syntactic", "decision method: syntactic, naive, ucq")
+		maxAtoms   = fs.Int("max-atoms", 1000000, "atom cap for the naive method")
+		showBounds = fs.Bool("show-bounds", false, "print d_C(Σ) and f_C(Σ)")
+		dotPath    = fs.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
+		uniform    = fs.Bool("uniform", false, "decide uniform termination (every database) instead")
+		workers    = cli.WorkersFlag(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful invocation, not CLI misuse
+		}
+		return 2
+	}
 
 	db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chtrm:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "chtrm:", err)
+		return 2
 	}
 	class := rules.Classify()
-	fmt.Printf("class: %v (%d TGDs, %d predicates, arity %d, ‖Σ‖=%d)\n",
+	fmt.Fprintf(stdout, "class: %v (%d TGDs, %d predicates, arity %d, ‖Σ‖=%d)\n",
 		class, rules.Len(), len(rules.Schema()), rules.Arity(), rules.Norm())
 
 	if *showBounds && class != tgds.ClassTGD {
 		b := core.SizeBound(rules, class)
-		fmt.Printf("depth bound d_%v(Σ) = %v\n", class, b.Depth)
+		fmt.Fprintf(stdout, "depth bound d_%v(Σ) = %v\n", class, b.Depth)
 		if b.Size != nil {
-			fmt.Printf("size bound f_%v(Σ) = %v\n", class, b.Size)
+			fmt.Fprintf(stdout, "size bound f_%v(Σ) = %v\n", class, b.Size)
 		} else {
-			fmt.Printf("size bound f_%v(Σ) ≈ 2^%.1f (not materialized)\n", class, b.Log2Size)
+			fmt.Fprintf(stdout, "size bound f_%v(Σ) ≈ 2^%.1f (not materialized)\n", class, b.Log2Size)
 		}
 	}
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chtrm:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "chtrm:", err)
+			return 2
 		}
-		if err := depgraph.Build(rules).Dot(f, "dg", nil); err != nil {
-			fmt.Fprintln(os.Stderr, "chtrm:", err)
-			os.Exit(2)
+		if err := compile.Global().DepGraph(rules).Dot(f, "dg", nil); err != nil {
+			fmt.Fprintln(stderr, "chtrm:", err)
+			return 2
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "chtrm:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "chtrm:", err)
+			return 2
 		}
 	}
 
 	var verdict *core.Verdict
 	switch {
 	case *uniform:
-		verdict, err = core.DecideUniform(rules)
+		verdict, err = core.DecideUniformWith(rules, compile.Global())
 	case *method == "syntactic":
-		verdict, err = core.Decide(db, rules)
+		verdict, err = core.DecideWith(db, rules, compile.Global())
 	case *method == "naive":
+		var exec *rt.Executor
 		if w := cli.Workers(*workers); w > 1 {
-			verdict, err = core.DecideNaiveExec(db, rules, *maxAtoms, rt.NewExecutor(w))
-		} else {
-			verdict, err = core.DecideNaive(db, rules, *maxAtoms)
+			exec = rt.NewExecutor(w)
 		}
+		verdict, err = core.DecideNaiveWith(db, rules, *maxAtoms, exec, compile.Global())
 	case *method == "ucq":
 		verdict, err = decideUCQ(db, rules, class)
 	default:
 		err = fmt.Errorf("chtrm: unknown method %q", *method)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	fmt.Println(verdict)
+	fmt.Fprintln(stdout, verdict)
 	switch verdict.Outcome {
 	case core.Finite:
+		return 0
 	case core.Infinite:
-		os.Exit(1)
+		return 1
 	default:
-		os.Exit(3)
+		return 3
 	}
 }
 
@@ -114,11 +133,13 @@ func decideUCQ(db *logic.Instance, rules *tgds.Set, class tgds.Class) (*core.Ver
 		q   core.UCQ
 		err error
 	)
+	// The UCQ depends on Σ alone: fetch it from the compilation cache so a
+	// stream of databases against one ontology builds Q_Σ once.
 	switch class {
 	case tgds.ClassSL:
-		q, err = core.BuildUCQSL(rules)
+		q, err = compile.Global().UCQSL(rules)
 	case tgds.ClassL:
-		q, err = core.BuildUCQL(rules)
+		q, err = compile.Global().UCQL(rules)
 	default:
 		return nil, fmt.Errorf("chtrm: the UCQ method applies to simple linear and linear sets only")
 	}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cli/clitest"
+)
+
+// End-to-end goldens for the experiment tables: full stdout at
+// -workers=1 and -workers=4. Only count-valued (timing-free) experiments
+// are golden-tested; their tables are deterministic for any worker count
+// and cache state.
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are seconds-long; skipped in -short")
+	}
+	clitest.Golden(t, run, []clitest.Case{
+		{
+			Name: "list",
+			Argv: []string{"-list"},
+		},
+		{
+			Name: "xp-depth-quick",
+			Argv: []string{"-exp", "XP-DEPTH", "-quick"},
+		},
+		{
+			Name: "xp-ucq-quick-csv",
+			Argv: []string{"-exp", "XP-UCQ", "-quick", "-format", "csv"},
+		},
+		{
+			Name: "xp-restricted-quick",
+			Argv: []string{"-exp", "XP-RESTRICTED", "-quick"},
+		},
+	})
+}

@@ -10,33 +10,51 @@
 // The -workers flag sizes the job pool that pool-backed experiments
 // (currently XP-RESTRICTED, the heaviest random-trial sweep) use to run
 // independent points concurrently; timing-sensitive experiments stay
-// sequential on purpose. Tables are identical for any worker count.
+// sequential on purpose. Pool jobs share the process-wide compilation
+// cache (internal/compile). Tables are identical for any worker count and
+// any cache state.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/compile"
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, executes, writes the
+// tables to stdout and diagnostics to stderr, and returns the exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment id (e.g. XP-LB-SL) or 'all'")
-		quick   = flag.Bool("quick", false, "run reduced parameter sweeps")
-		format  = flag.String("format", "table", "output format: table or csv")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		workers = cli.WorkersFlag()
+		exp     = fs.String("exp", "all", "experiment id (e.g. XP-LB-SL) or 'all'")
+		quick   = fs.Bool("quick", false, "run reduced parameter sweeps")
+		format  = fs.String("format", "table", "output format: table or csv")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		workers = cli.WorkersFlag(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful invocation, not CLI misuse
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var selected []experiments.Experiment
@@ -45,31 +63,32 @@ func main() {
 	} else {
 		e, err := experiments.Get(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		selected = []experiments.Experiment{e}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Workers: cli.Workers(*workers)}
+	cfg := experiments.Config{Quick: *quick, Workers: cli.Workers(*workers), Compiler: compile.Global()}
 	for _, e := range selected {
 		table, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			return 1
 		}
 		table.ID = e.ID
 		table.Title = e.Title
 		table.Claim = e.Claim
 		var werr error
 		if *format == "csv" {
-			werr = table.CSV(os.Stdout)
+			werr = table.CSV(stdout)
 		} else {
-			werr = table.Render(os.Stdout)
+			werr = table.Render(stdout)
 		}
 		if werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
+			fmt.Fprintln(stderr, werr)
+			return 1
 		}
 	}
+	return 0
 }

@@ -40,4 +40,24 @@
 // with per-job budgets (atoms, rounds, wall-clock), cancellation, and
 // aggregate statistics. Every tool takes -workers; determinism makes the
 // flag a pure performance knob.
+//
+// Across requests, internal/compile is the ontology compilation cache:
+// every artifact derived from the TGD set Σ alone — the chase engine's
+// per-TGD head and body programs (chase.CompiledSet), the simplification
+// simple(Σ), the dependency- and predicate-graph analyses, and the
+// termination UCQs — is memoized per ontology, so a fleet sharing Σ pays
+// analysis once. The cache key is a canonical SHA-256 fingerprint of Σ
+// (order-insensitive, α-invariant, duplicate-insensitive, stable across
+// processes — the future wire-level schema identity for distributed
+// sharding); within a fingerprint entry, compiled artifacts live in
+// per-exact-clause-sequence views, because head programs address clauses
+// by index and variables by name, and chase.Run re-verifies the match
+// before trusting a served compilation. Reads are lock-free (sync.Map +
+// atomic recency, in the style of logic.Symbols), entries are LRU-bounded
+// with explicit invalidation, and sets are immutable by convention, so
+// "mutating Σ" means building a new set — which fingerprints differently
+// and misses. Cached runs are byte-identical to cold runs for all three
+// chase variants (property-tested in internal/compile, fuzzed via
+// FuzzFingerprint, and pinned end to end by the cmd golden tests);
+// chase.Stats reports per-run cache hits and misses.
 package repro

@@ -82,6 +82,14 @@ type Options struct {
 	// (runtime.Interrupter is). The multi-job scheduler uses it to
 	// enforce wall-clock budgets and cancellation.
 	Interrupt func() bool
+	// Compile, when non-nil, supplies the run's compiled per-TGD programs
+	// (head programs and per-seed body programs) instead of compiling them
+	// inside the run; internal/compile.Cache implements it as a
+	// cross-request cache. The run records whether the fetch was a cache
+	// hit in Stats.CompileHits/CompileMisses and is byte-identical either
+	// way. A set that fails the CompiledSet.Matches safety check is
+	// discarded (counted as a miss) and the run compiles cold.
+	Compile Compiler
 }
 
 // Stats aggregates counters of a run.
@@ -93,6 +101,14 @@ type Stats struct {
 	TriggersFired      int
 	Nulls              int
 	MaxDepth           int
+	// CompileHits and CompileMisses count the run's fetches of compiled
+	// programs through Options.Compile: at most one fetch per run, so the
+	// pair is (1, 0) for a warm cache, (0, 1) for a cold one, and (0, 0)
+	// when no Compiler was attached. They describe cache behavior, not the
+	// chase itself — every other field is identical between a hit and a
+	// miss run.
+	CompileHits   int
+	CompileMisses int
 }
 
 // Result is the outcome of a chase run.
@@ -122,6 +138,21 @@ func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 		nulls:   logic.NewNullFactory(),
 		fired:   logic.NewTupleInterner(),
 		initial: db.Len(),
+	}
+	if opts.Compile != nil {
+		cs, hit := opts.Compile.CompiledChase(sigma)
+		if cs.Matches(sigma) {
+			e.compiled = cs
+			if hit {
+				e.compileHits = 1
+			} else {
+				e.compileMisses = 1
+			}
+		} else {
+			// The compiler served programs for a different clause sequence;
+			// using them would corrupt the run, so compile cold instead.
+			e.compileMisses = 1
+		}
 	}
 	if opts.TrackForest {
 		e.forest = newForest(e.inst.Atoms())
@@ -173,6 +204,7 @@ type engine struct {
 	keyBuf     []int32       // reusable tuple-building buffer
 	matcher    logic.Matcher // reusable compiled-body buffers
 	heads      [][]headAtom  // per-TGD compiled head programs, by TGD id
+	compiled   *CompiledSet  // shared precompiled programs (nil: compile lazily)
 	nullBuf    []*logic.Null // reusable per-trigger null scratch
 	forest     *Forest
 	derivation *Derivation
@@ -180,11 +212,13 @@ type engine struct {
 	workers    []collectWorker // parallel collection: per-worker-slot state
 	taskBuf    []collectTask   // parallel collection: reusable task list
 
-	rounds     int
-	considered int
-	firedCount int
-	stop       bool        // set once Options.Interrupt fires
-	parStop    atomic.Bool // interrupt verdict shared with collect workers
+	rounds        int
+	considered    int
+	firedCount    int
+	compileHits   int
+	compileMisses int
+	stop          bool        // set once Options.Interrupt fires
+	parStop       atomic.Bool // interrupt verdict shared with collect workers
 }
 
 // interrupted polls Options.Interrupt and latches the result.
@@ -204,6 +238,8 @@ func (e *engine) stats() Stats {
 		TriggersFired:      e.firedCount,
 		Nulls:              e.nulls.Len(),
 		MaxDepth:           e.nulls.MaxDepth(),
+		CompileHits:        e.compileHits,
+		CompileMisses:      e.compileMisses,
 	}
 }
 
@@ -263,7 +299,7 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 		// this run's set, not TGD.ID: the ID field is mutated by any
 		// Set.Add a shared *TGD later participates in.
 		fireVars := fireVarsOf(t, e.opts.Variant)
-		e.matcher.MatchAllExt(t.Body, e.inst, ds, func(m *logic.Match) bool {
+		yield := func(m *logic.Match) bool {
 			e.considered++
 			if e.opts.Interrupt != nil && e.considered&1023 == 0 && e.interrupted() {
 				return false // bound how far a cancelled run overshoots
@@ -276,7 +312,16 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 			key := append([]int32(nil), e.keyBuf...)
 			pending = append(pending, e.buildPending(t, ti, key, m))
 			return true
-		})
+		}
+		if ds >= 0 && e.compiled != nil {
+			// Shared precompiled per-seed body programs; enumeration order
+			// is identical to the fresh compile (logic.BodyProgram).
+			e.matcher.MatchAllProgs(e.compiled.bodies[ti], e.inst, ds, yield)
+		} else {
+			// Round 1 and NoSemiNaive enumerate the full instance; that
+			// join order is chosen per instance, so it is never cached.
+			e.matcher.MatchAllExt(t.Body, e.inst, ds, yield)
+		}
 		if e.stop {
 			break
 		}
@@ -429,13 +474,18 @@ func indexOf32(ids []int32, id int32) int {
 // ⊥^z_{σ, h}) is realized as the interned integer tuple (TGD id,
 // existential index, key-variable image ids).
 func (e *engine) instantiateHead(p pendingTrigger) []*logic.Atom {
-	if e.heads == nil {
-		e.heads = make([][]headAtom, len(e.sigma.TGDs))
-	}
-	prog := e.heads[p.tgdIdx]
-	if prog == nil {
-		prog = compileHead(p.tgd)
-		e.heads[p.tgdIdx] = prog
+	var prog []headAtom
+	if e.compiled != nil {
+		prog = e.compiled.heads[p.tgdIdx]
+	} else {
+		if e.heads == nil {
+			e.heads = make([][]headAtom, len(e.sigma.TGDs))
+		}
+		prog = e.heads[p.tgdIdx]
+		if prog == nil {
+			prog = compileHead(p.tgd)
+			e.heads[p.tgdIdx] = prog
+		}
 	}
 	depth := 1
 	for _, t := range p.frImgs {

@@ -133,7 +133,7 @@ func (e *engine) collectShard(t collectTask, w *collectWorker, out *[]shardCand,
 		w.seen = logic.NewTupleInterner()
 	}
 	w.seen.Reset()
-	w.matcher.MatchShard(tgd.Body, e.inst, deltaStart, t.seed, t.lo, t.hi, func(m *logic.Match) bool {
+	yield := func(m *logic.Match) bool {
 		w.considered++
 		if e.opts.Interrupt != nil && w.considered&1023 == 0 {
 			// Bound cancellation latency: poll the (concurrency-safe, see
@@ -158,7 +158,14 @@ func (e *engine) collectShard(t collectTask, w *collectWorker, out *[]shardCand,
 		key := append([]int32(nil), w.keyBuf...)
 		*out = append(*out, shardCand{p: e.buildPending(tgd, t.tgdIdx, key, m), key: key})
 		return true
-	})
+	}
+	if e.compiled != nil {
+		// The shared program is read-only; per-worker matchers install it
+		// concurrently and keep their bindings in their own slot arrays.
+		w.matcher.MatchShardProg(e.compiled.bodies[t.tgdIdx][t.seed], e.inst, deltaStart, t.lo, t.hi, yield)
+	} else {
+		w.matcher.MatchShard(tgd.Body, e.inst, deltaStart, t.seed, t.lo, t.hi, yield)
+	}
 }
 
 // fireVarsOf returns the variables whose images key a trigger's firing:

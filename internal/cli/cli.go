@@ -10,16 +10,31 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/chase"
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/tgds"
 )
 
-// WorkersFlag registers the conventional -workers flag on the standard
-// flag set and returns its target. The zero default resolves to
+// WorkersFlag registers the conventional -workers flag on the given flag
+// set and returns its target. The zero default resolves to
 // runtime.GOMAXPROCS(0) through Workers.
-func WorkersFlag() *int {
-	return flag.Int("workers", 0, "worker goroutines for parallel phases (0 = GOMAXPROCS)")
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for parallel phases (0 = GOMAXPROCS)")
+}
+
+// CacheState renders a run's compilation-cache interaction for the tools'
+// diagnostic lines: "hit" or "miss" when a compiler was attached, "off"
+// when the run compiled inside itself.
+func CacheState(s chase.Stats) string {
+	switch {
+	case s.CompileHits > 0:
+		return "hit"
+	case s.CompileMisses > 0:
+		return "miss"
+	default:
+		return "off"
+	}
 }
 
 // Workers resolves a -workers flag value: n > 0 is used as given, anything

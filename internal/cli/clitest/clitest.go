@@ -1,0 +1,91 @@
+// Package clitest is the golden-file end-to-end harness for the
+// command-line tools. Each cmd package exposes its run(argv, stdout,
+// stderr) entry point to a test that tables up invocations over the
+// programs in examples/dlgp; the harness executes every case at
+// -workers=1 and -workers=4, asserts the two outputs are byte-identical
+// (the determinism contract makes -workers a pure performance knob), and
+// compares stdout against a checked-in golden file.
+//
+// Regenerate goldens with:
+//
+//	go test ./cmd/... -update
+package clitest
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Update rewrites golden files instead of comparing against them.
+var Update = flag.Bool("update", false, "rewrite the golden files instead of comparing")
+
+// RunFunc is the testable main shared by the cmd packages.
+type RunFunc func(argv []string, stdout, stderr io.Writer) int
+
+// Case is one golden invocation.
+type Case struct {
+	Name string   // golden file basename (testdata/<Name>.golden)
+	Argv []string // arguments, without any -workers flag
+	Exit int      // expected exit code (same at every worker count)
+	// NoWorkers skips the -workers sweep for tools/flags where the flag
+	// does not apply; the case then runs once, as given.
+	NoWorkers bool
+}
+
+// Golden runs every case and compares stdout against its golden file.
+func Golden(t *testing.T, run RunFunc, cases []Case) {
+	t.Helper()
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			sweep := [][]string{{"-workers=1"}, {"-workers=4"}}
+			if c.NoWorkers {
+				sweep = [][]string{nil}
+			}
+			var first []byte
+			for i, extra := range sweep {
+				argv := append(append([]string{}, c.Argv...), extra...)
+				var stdout, stderr bytes.Buffer
+				if exit := run(argv, &stdout, &stderr); exit != c.Exit {
+					t.Fatalf("%v: exit %d, want %d\nstderr:\n%s", argv, exit, c.Exit, stderr.String())
+				}
+				if i == 0 {
+					first = stdout.Bytes()
+					continue
+				}
+				if !bytes.Equal(first, stdout.Bytes()) {
+					t.Fatalf("%v: stdout differs between worker counts\n--- %v\n%s\n--- %v\n%s",
+						c.Argv, sweep[0], first, extra, stdout.Bytes())
+				}
+			}
+			path := filepath.Join("testdata", c.Name+".golden")
+			if *Update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to record)", err)
+			}
+			if !bytes.Equal(want, first) {
+				t.Fatalf("stdout differs from %s:\n%s\nwant:\n%s\n(re-record with -update if the change is intended)",
+					path, first, want)
+			}
+		})
+	}
+}
+
+// Example returns the path of a program under examples/dlgp, relative to
+// a cmd package's test binary.
+func Example(name string) string {
+	return filepath.Join("..", "..", "examples", "dlgp", name)
+}

@@ -1,0 +1,118 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Fingerprinting. The cache — and the ROADMAP's distributed-sharding item,
+// which needs a wire-level schema identity — keys a TGD set by a canonical
+// fingerprint with three invariances:
+//
+//   - order-insensitivity: permuting the clauses does not change it;
+//   - α-invariance: consistently renaming a clause's variables does not
+//     change it (each clause is encoded with its variables numbered by
+//     first occurrence, body before head);
+//   - duplicate-insensitivity: a clause occurring twice (even under
+//     different variable names) counts once.
+//
+// Two sets have equal fingerprints iff their canonicalized clause sets are
+// equal (up to SHA-256 collisions); FuzzFingerprint checks the biconditional
+// against the explicit canonical encoding. Constants and other ground terms
+// are encoded by their Key() rendering, not their process-local interned
+// id, so the fingerprint is stable across processes.
+
+// Fingerprint is the canonical identity of a TGD set: a SHA-256 digest
+// over the sorted, deduplicated canonical clause encodings.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Of returns the canonical fingerprint of the set.
+func Of(sigma *tgds.Set) Fingerprint {
+	clauses := CanonicalClauses(sigma)
+	h := sha256.New()
+	for _, c := range clauses {
+		h.Write([]byte(c))
+		h.Write([]byte{0x1e}) // record separator: no clause can contain it
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// CanonicalClauses returns the canonical clause encodings of the set,
+// sorted and deduplicated. Two sets canonicalize equal — the relation the
+// fingerprint captures — iff these slices are equal.
+func CanonicalClauses(sigma *tgds.Set) []string {
+	seen := make(map[string]bool, len(sigma.TGDs))
+	out := make([]string, 0, len(sigma.TGDs))
+	for _, t := range sigma.TGDs {
+		c := CanonicalClause(t)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalClause encodes one TGD with its variables replaced by
+// first-occurrence indexes (body atoms first, then head atoms), so
+// α-equivalent clauses encode identically. Ground terms are tagged with
+// their kind-discriminated Key(); field separators are control characters
+// that cannot occur in identifiers.
+func CanonicalClause(t *tgds.TGD) string {
+	var b strings.Builder
+	idx := make(map[logic.Variable]int)
+	writeAtoms := func(atoms []*logic.Atom) {
+		for i, a := range atoms {
+			if i > 0 {
+				b.WriteByte(0x1d)
+			}
+			b.WriteString(a.Pred.Name)
+			b.WriteByte(0x1f)
+			b.WriteString(strconv.Itoa(a.Pred.Arity))
+			for _, trm := range a.Args {
+				b.WriteByte(0x1f)
+				if v, ok := trm.(logic.Variable); ok {
+					n, known := idx[v]
+					if !known {
+						n = len(idx)
+						idx[v] = n
+					}
+					b.WriteByte('v')
+					b.WriteString(strconv.Itoa(n))
+				} else {
+					b.WriteByte('k')
+					b.WriteString(trm.Key())
+				}
+			}
+		}
+	}
+	writeAtoms(t.Body)
+	b.WriteByte(0x1c) // body/head separator
+	writeAtoms(t.Head)
+	return b.String()
+}
+
+// exactKey is the cache's within-fingerprint view key: the ordered clause
+// renderings, newline-joined. Sets with equal exact keys are
+// clause-for-clause identical (same order, same variable names), which is
+// the precondition for sharing per-clause-index compiled artifacts; see
+// chase.CompiledSet.Matches.
+func exactKey(sigma *tgds.Set) string {
+	keys := make([]string, len(sigma.TGDs))
+	for i, t := range sigma.TGDs {
+		keys[i] = t.Key()
+	}
+	return strings.Join(keys, "\n")
+}

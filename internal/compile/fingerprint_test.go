@@ -1,0 +1,113 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	a := parser.MustParseRules(`
+		p(X) -> ∃Y r(X, Y).
+		r(X, Y) -> ∃Z r(Y, Z).
+		r(X, Y), p(X) -> q(Y).
+	`)
+	b := parser.MustParseRules(`
+		r(X, Y), p(X) -> q(Y).
+		p(X) -> ∃Y r(X, Y).
+		r(X, Y) -> ∃Z r(Y, Z).
+	`)
+	if Of(a) != Of(b) {
+		t.Fatalf("permuted set fingerprints differ:\n%v\n%v", Of(a), Of(b))
+	}
+}
+
+func TestFingerprintAlphaInvariant(t *testing.T) {
+	a := parser.MustParseRules(`p(X, Y) -> ∃Z r(Y, Z).`)
+	b := parser.MustParseRules(`p(U, V) -> ∃W r(V, W).`)
+	if Of(a) != Of(b) {
+		t.Fatal("α-renamed clause changed the fingerprint")
+	}
+	// A renaming that changes the variable *pattern* must change it.
+	c := parser.MustParseRules(`p(X, X) -> ∃Z r(X, Z).`)
+	if Of(a) == Of(c) {
+		t.Fatal("collapsing distinct variables kept the fingerprint")
+	}
+}
+
+func TestFingerprintDuplicateInsensitive(t *testing.T) {
+	// tgds.Set dedups exact duplicates, but α-variant duplicates survive as
+	// distinct clauses; canonicalization must still collapse them.
+	a := parser.MustParseRules(`
+		p(X) -> ∃Y r(X, Y).
+		p(U) -> ∃V r(U, V).
+	`)
+	b := parser.MustParseRules(`p(X) -> ∃Y r(X, Y).`)
+	if a.Len() != 2 {
+		t.Fatalf("fixture: expected the α-variant duplicate to survive Set.Add, got %d clauses", a.Len())
+	}
+	if Of(a) != Of(b) {
+		t.Fatal("α-variant duplicate changed the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesSets(t *testing.T) {
+	base := `p(X) -> ∃Y r(X, Y).`
+	variants := []string{
+		`p(X) -> r(X, X).`,
+		`p(X) -> ∃Y r(Y, X).`,
+		`q(X) -> ∃Y r(X, Y).`,
+		`p(X) -> ∃Y s(X, Y).`,
+		`p(X) -> ∃Y r(X, Y). r(X, Y) -> p(Y).`,
+	}
+	fa := Of(parser.MustParseRules(base))
+	for _, v := range variants {
+		if fa == Of(parser.MustParseRules(v)) {
+			t.Fatalf("distinct set %q shares the fingerprint of %q", v, base)
+		}
+	}
+}
+
+func TestFingerprintConstantVsVariableTagging(t *testing.T) {
+	// The canonical encoding must keep a constant "v0" apart from the first
+	// variable (encoded v0): kind tags, not renderings, decide.
+	a := parser.MustParseRules(`p(X) -> q(X).`)
+	b := parser.MustParseRules(`p(v0) -> q(v0).`)
+	if Of(a) == Of(b) {
+		t.Fatal("constant v0 collides with canonical variable 0")
+	}
+}
+
+// canonicalSetsEqual is the explicit oracle the fuzz target checks the
+// fingerprint against.
+func canonicalSetsEqual(a, b *tgds.Set) bool {
+	ca, cb := CanonicalClauses(a), CanonicalClauses(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFingerprintMatchesOracle(t *testing.T) {
+	sets := []*tgds.Set{
+		parser.MustParseRules(`p(X) -> ∃Y r(X, Y).`),
+		parser.MustParseRules(`p(U) -> ∃V r(U, V).`),
+		parser.MustParseRules(`p(X) -> ∃Y r(Y, X).`),
+		parser.MustParseRules(`p(X), q(X) -> r(X, X).`),
+		parser.MustParseRules(`p(X) -> ∃Y r(X, Y). r(X, Y) -> p(Y).`),
+		parser.MustParseRules(`r(X, Y) -> p(Y). p(X) -> ∃Y r(X, Y).`),
+	}
+	for i, a := range sets {
+		for j, b := range sets {
+			if got, want := Of(a) == Of(b), canonicalSetsEqual(a, b); got != want {
+				t.Fatalf("sets %d vs %d: fingerprint equality %v, canonical equality %v", i, j, got, want)
+			}
+		}
+	}
+}

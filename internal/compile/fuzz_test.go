@@ -1,0 +1,67 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+// FuzzFingerprint checks the fingerprint's defining biconditional on
+// arbitrary pairs of parsed rule sets — Of(a) == Of(b) iff the
+// canonicalized clause sets are equal — together with its advertised
+// invariances: clause-order permutation and format round-trips preserve
+// it.
+func FuzzFingerprint(f *testing.F) {
+	pairs := [][2]string{
+		{"p(X) -> ∃Y r(X, Y).", "p(U) -> ∃V r(U, V)."},
+		{"p(X) -> ∃Y r(X, Y).", "p(X) -> ∃Y r(Y, X)."},
+		{"p(X) -> q(X).\nq(X) -> p(X).", "q(X) -> p(X).\np(X) -> q(X)."},
+		{"e(X, Y), s(X) -> exists Z e(Y, Z).", "e(A, B), s(A) -> ∃C e(B, C)."},
+		{"p(X, X) -> q(X).", "p(X, Y) -> q(X)."},
+		{"p(a) .\np(X) -> q(X).", "p(X) -> q(X)."},
+	}
+	for _, p := range pairs {
+		f.Add(p[0], p[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 1<<12 || len(b) > 1<<12 {
+			return
+		}
+		pa, err := parser.Parse(a)
+		if err != nil {
+			return
+		}
+		pb, err := parser.Parse(b)
+		if err != nil {
+			return
+		}
+		ra, rb := pa.Rules, pb.Rules
+		if got, want := Of(ra) == Of(rb), canonicalSetsEqual(ra, rb); got != want {
+			t.Fatalf("fingerprint equality %v but canonical-set equality %v:\nA:\n%s\nB:\n%s", got, want, ra, rb)
+		}
+		// Order-insensitivity: reversing the clause order keeps the
+		// fingerprint.
+		rev := make([]*tgds.TGD, ra.Len())
+		for i, tgd := range ra.TGDs {
+			rev[len(rev)-1-i] = tgd
+		}
+		if Of(tgds.NewSet(rev...)) != Of(ra) {
+			t.Fatalf("reversing clause order changed the fingerprint:\n%s", ra)
+		}
+		// Format round-trip stability: the wire identity survives
+		// rendering and re-parsing.
+		var buf strings.Builder
+		if err := parser.FormatRules(&buf, ra); err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		back, err := parser.ParseRules(buf.String())
+		if err != nil {
+			t.Fatalf("re-parse of formatted rules failed: %v\n%s", err, buf.String())
+		}
+		if Of(back) != Of(ra) {
+			t.Fatalf("format round-trip changed the fingerprint:\n%s\nvs\n%s", ra, back)
+		}
+	})
+}

@@ -52,13 +52,46 @@ func (v *Verdict) String() string {
 	return s
 }
 
+// Analyses supplies the Σ-only artifacts the deciders consume, so a
+// cross-request cache (internal/compile.Cache implements this interface)
+// can serve a stream of databases against one ontology without re-deriving
+// the simplification or the dependency graphs per request. Methods must be
+// semantically equivalent to calling the underlying packages directly;
+// a nil Analyses selects exactly that.
+type Analyses interface {
+	Simplified(sigma *tgds.Set) (*tgds.Set, error)
+	DepGraph(sigma *tgds.Set) *depgraph.Graph
+	PredGraph(sigma *tgds.Set) *depgraph.PredGraph
+}
+
+// directAnalyses is the uncached Analyses: every call derives afresh.
+type directAnalyses struct{}
+
+func (directAnalyses) Simplified(s *tgds.Set) (*tgds.Set, error)  { return simplify.Set(s) }
+func (directAnalyses) DepGraph(s *tgds.Set) *depgraph.Graph       { return depgraph.Build(s) }
+func (directAnalyses) PredGraph(s *tgds.Set) *depgraph.PredGraph  { return depgraph.BuildPredGraph(s) }
+
+func analysesOr(a Analyses) Analyses {
+	if a == nil {
+		return directAnalyses{}
+	}
+	return a
+}
+
 // DecideSL decides ChTrm(SL) by Theorem 6.4: Σ ∈ CT_D iff Σ is
 // D-weakly-acyclic. It errors when Σ is not simple linear.
 func DecideSL(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	return DecideSLWith(db, sigma, nil)
+}
+
+// DecideSLWith is DecideSL with the Σ-only graphs served by a (nil =
+// uncached). The verdict is identical either way.
+func DecideSLWith(db *logic.Instance, sigma *tgds.Set, a Analyses) (*Verdict, error) {
 	if c := sigma.Classify(); c != tgds.ClassSL {
 		return nil, fmt.Errorf("core: DecideSL requires simple linear TGDs, got class %v", c)
 	}
-	ok, cert := depgraph.IsWeaklyAcyclicFor(db, sigma)
+	a = analysesOr(a)
+	ok, cert := depgraph.IsWeaklyAcyclicForGraphs(db, a.DepGraph(sigma), a.PredGraph(sigma))
 	v := &Verdict{Class: tgds.ClassSL, Method: "D-weak-acyclicity"}
 	if ok {
 		v.Outcome = Finite
@@ -72,15 +105,23 @@ func DecideSL(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
 // DecideL decides ChTrm(L) by Theorem 7.5: Σ ∈ CT_D iff simple(Σ) is
 // simple(D)-weakly-acyclic. It errors when Σ is not linear.
 func DecideL(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	return DecideLWith(db, sigma, nil)
+}
+
+// DecideLWith is DecideL with simple(Σ) and its graphs served by a (nil =
+// uncached); only simple(D) remains per-request work. The verdict is
+// identical either way.
+func DecideLWith(db *logic.Instance, sigma *tgds.Set, a Analyses) (*Verdict, error) {
 	if c := sigma.Classify(); c > tgds.ClassL {
 		return nil, fmt.Errorf("core: DecideL requires linear TGDs, got class %v", c)
 	}
-	sSigma, err := simplify.Set(sigma)
+	a = analysesOr(a)
+	sSigma, err := a.Simplified(sigma)
 	if err != nil {
 		return nil, err
 	}
 	sDB := simplify.Database(db)
-	ok, cert := depgraph.IsWeaklyAcyclicFor(sDB, sSigma)
+	ok, cert := depgraph.IsWeaklyAcyclicForGraphs(sDB, a.DepGraph(sSigma), a.PredGraph(sSigma))
 	v := &Verdict{Class: tgds.ClassL, Method: "simplification + D-weak-acyclicity"}
 	if ok {
 		v.Outcome = Finite
@@ -117,11 +158,19 @@ func DecideG(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
 // [13]), it returns an error; use DecideNaiveWithBudget for a best-effort
 // semi-decision.
 func Decide(db *logic.Instance, sigma *tgds.Set) (*Verdict, error) {
+	return DecideWith(db, sigma, nil)
+}
+
+// DecideWith is Decide with the Σ-only analyses served by a (nil =
+// uncached). The guarded decider stays uncached by construction: its
+// gsimple transformation depends on the database, so it has no Σ-only
+// artifact to share.
+func DecideWith(db *logic.Instance, sigma *tgds.Set, a Analyses) (*Verdict, error) {
 	switch sigma.Classify() {
 	case tgds.ClassSL:
-		return DecideSL(db, sigma)
+		return DecideSLWith(db, sigma, a)
 	case tgds.ClassL:
-		return DecideL(db, sigma)
+		return DecideLWith(db, sigma, a)
 	case tgds.ClassG:
 		return DecideG(db, sigma)
 	default:
@@ -143,13 +192,21 @@ func DecideNaive(db *logic.Instance, sigma *tgds.Set, atomCap int) (*Verdict, er
 // the verdict — including the exact atom count in the certificate — is
 // identical either way.
 func DecideNaiveExec(db *logic.Instance, sigma *tgds.Set, atomCap int, exec chase.Executor) (*Verdict, error) {
+	return DecideNaiveWith(db, sigma, atomCap, exec, nil)
+}
+
+// DecideNaiveWith is DecideNaiveExec with the materialization's per-TGD
+// programs fetched through comp (a cross-request compilation cache; nil
+// compiles cold). The cache is a pure performance knob: the verdict is
+// identical either way.
+func DecideNaiveWith(db *logic.Instance, sigma *tgds.Set, atomCap int, exec chase.Executor, comp chase.Compiler) (*Verdict, error) {
 	class := sigma.Classify()
 	if class == tgds.ClassTGD {
 		return nil, fmt.Errorf("core: the naive procedure needs a size bound, unavailable for arbitrary TGDs")
 	}
 	b := SizeBound(sigma, class)
 	budget, exact := NaiveBudget(db.Len(), b, atomCap)
-	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget, Executor: exec})
+	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget, Executor: exec, Compile: comp})
 	v := &Verdict{Class: class, Method: "naive chase materialization"}
 	switch {
 	case res.Terminated:

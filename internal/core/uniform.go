@@ -66,6 +66,50 @@ func DecideUniform(sigma *tgds.Set) (*Verdict, error) {
 	return v, nil
 }
 
+// UniformAnalyses extends Analyses with the uniform weak-acyclicity
+// verdict, itself a Σ-only artifact (internal/compile.Cache implements
+// it).
+type UniformAnalyses interface {
+	Analyses
+	WeaklyAcyclic(sigma *tgds.Set) (bool, *depgraph.Certificate)
+}
+
+// DecideUniformWith is DecideUniform with the Σ-only analyses served by a
+// (nil = uncached). Unlike DecideUniform, it additionally answers for
+// arbitrary TGD sets via classical weak-acyclicity, which is a sufficient
+// condition for uniform termination for every class (Fagin et al.): a
+// weakly acyclic set is reported Finite, anything else Unknown (the
+// problem is undecidable there, so no certificate of non-termination
+// exists).
+func DecideUniformWith(sigma *tgds.Set, a UniformAnalyses) (*Verdict, error) {
+	if sigma.Classify() == tgds.ClassTGD {
+		var ok bool
+		if a != nil {
+			ok, _ = a.WeaklyAcyclic(sigma)
+		} else {
+			ok, _ = depgraph.IsWeaklyAcyclic(sigma)
+		}
+		v := &Verdict{Class: tgds.ClassTGD, Method: "classical weak-acyclicity (sufficient)"}
+		if ok {
+			v.Outcome = Finite
+		} else {
+			v.Outcome = Unknown
+			v.Certificate = "not weakly acyclic; uniform ChTrm is undecidable for arbitrary TGDs"
+		}
+		return v, nil
+	}
+	var inner Analyses
+	if a != nil {
+		inner = a
+	}
+	v, err := DecideWith(CriticalInstance(sigma), sigma, inner)
+	if err != nil {
+		return nil, err
+	}
+	v.Method = "critical instance + " + v.Method
+	return v, nil
+}
+
 // IsUniformlyWeaklyAcyclic reports classical weak-acyclicity of Σ, which
 // characterizes uniform semi-oblivious chase termination for simple
 // linear TGDs ([8]); for arbitrary TGDs it is a sufficient condition

@@ -107,11 +107,27 @@ func IsWeaklyAcyclic(sigma *tgds.Set) (bool, *Certificate) {
 // it suffices to test reachability of the special edge's source predicate.
 func IsWeaklyAcyclicFor(db *logic.Instance, sigma *tgds.Set) (bool, *Certificate) {
 	g := Build(sigma)
-	bad := g.SpecialCycleEdges()
-	if len(bad) == 0 {
+	if len(g.SpecialCycleEdges()) == 0 {
 		return true, nil
 	}
-	pg := BuildPredGraph(sigma)
+	return isWeaklyAcyclicOn(db, g, BuildPredGraph(sigma))
+}
+
+// IsWeaklyAcyclicForGraphs is IsWeaklyAcyclicFor over prebuilt graphs: the
+// Σ-only dg(Σ) and pg(Σ) can come from a cross-request cache
+// (internal/compile), leaving only the D-dependent reachability work per
+// request. The verdict is identical to IsWeaklyAcyclicFor's.
+func IsWeaklyAcyclicForGraphs(db *logic.Instance, g *Graph, pg *PredGraph) (bool, *Certificate) {
+	if len(g.SpecialCycleEdges()) == 0 {
+		return true, nil
+	}
+	return isWeaklyAcyclicOn(db, g, pg)
+}
+
+// isWeaklyAcyclicOn is the D-dependent half of the check; the graph must
+// already be known to have special cycle edges.
+func isWeaklyAcyclicOn(db *logic.Instance, g *Graph, pg *PredGraph) (bool, *Certificate) {
+	bad := g.SpecialCycleEdges()
 	dbPreds := db.Predicates()
 	reach := pg.ReachableFrom(dbPreds)
 	for _, e := range bad {

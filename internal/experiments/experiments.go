@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/chase"
 )
 
 // Config tunes experiment sweeps. Quick mode shrinks parameters so that
@@ -18,6 +20,12 @@ type Config struct {
 	// so RNG streams stay fixed, and results are tallied in submission
 	// order.
 	Workers int
+	// Compiler, when non-nil, is the cross-request compilation cache
+	// chase-running experiments attach to their runs (the command passes
+	// the process-wide internal/compile cache). Caching is a pure
+	// performance knob — cached and cold runs are byte-identical — so
+	// tables do not depend on it.
+	Compiler chase.Compiler
 }
 
 // Experiment couples an identifier with a runner.

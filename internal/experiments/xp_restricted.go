@@ -65,8 +65,11 @@ func runRestrictedGap(cfg Config) (*Table, error) {
 			pool.Submit(rt.Job{
 				Name: fmt.Sprintf("%s-trial-%d", g.name, i),
 				Run: func(context.Context) (any, error) {
-					semi := chase.Run(w.Database, w.Sigma, chase.Options{MaxAtoms: budget})
-					restr := chase.Run(w.Database, w.Sigma, chase.Options{Variant: chase.Restricted, MaxAtoms: budget})
+					// Both variant runs share one Σ, so with a compiler
+					// attached the second fetch (and any rerun of the
+					// sweep in this process) hits the cache.
+					semi := chase.Run(w.Database, w.Sigma, chase.Options{MaxAtoms: budget, Compile: cfg.Compiler})
+					restr := chase.Run(w.Database, w.Sigma, chase.Options{Variant: chase.Restricted, MaxAtoms: budget, Compile: cfg.Compiler})
 					return [2]bool{semi.Terminated, restr.Terminated}, nil
 				},
 			})

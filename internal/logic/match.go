@@ -154,9 +154,11 @@ func (m *matcher) orderBody(body []*Atom, cons []deltaConstraint, start int) {
 	n := len(body)
 	m.body = m.body[:0]
 	m.constraints = m.constraints[:0]
+	m.ordPerm = m.ordPerm[:0]
 	if n == 1 {
 		m.body = append(m.body, body[0])
 		m.constraints = append(m.constraints, cons[0])
+		m.ordPerm = append(m.ordPerm, 0)
 		return
 	}
 	if start < 0 {
@@ -182,6 +184,7 @@ func (m *matcher) orderBody(body []*Atom, cons []deltaConstraint, start int) {
 		m.ordUsed[i] = true
 		m.body = append(m.body, body[i])
 		m.constraints = append(m.constraints, cons[i])
+		m.ordPerm = append(m.ordPerm, i)
 		for _, id := range body[i].ids {
 			if id < 0 && !containsID(m.ordSeen, id) {
 				m.ordSeen = append(m.ordSeen, id)
@@ -288,7 +291,13 @@ type matcher struct {
 
 	ordUsed []bool            // orderBody scratch
 	ordSeen []int32           // orderBody scratch: variable ids already placed
+	ordPerm []int             // ordered position -> original body index
 	consIn  []deltaConstraint // reusable input-constraint buffer
+
+	// borrowed marks that body/code/slotVar/slotID point into a shared
+	// read-only BodyProgram rather than the matcher's own buffers; the next
+	// fresh compile must drop them instead of appending in place.
+	borrowed bool
 
 	view    Match
 	stopped bool
@@ -297,6 +306,12 @@ type matcher struct {
 // compile orders the body and translates it to slot codes, reusing the
 // matcher's buffers so semi-naive seeds recompile without allocating.
 func (m *matcher) compile(body []*Atom, cons []deltaConstraint, start int) {
+	if m.borrowed {
+		// The previous call installed a shared BodyProgram; appending into
+		// its slices would corrupt the cached program, so start fresh.
+		m.body, m.code, m.slotVar, m.slotID = nil, nil, nil, nil
+		m.borrowed = false
+	}
 	m.orderBody(body, cons, start)
 	m.slotVar = m.slotVar[:0]
 	m.slotID = m.slotID[:0]

@@ -1,0 +1,60 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip checks parse→format→parse stability: any program the
+// parser accepts must format back into a program the parser accepts, with
+// the same database (canonically) and the same rule set, and formatting
+// must be a fixpoint from the first round-trip on.
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"person(alice). knows(alice, bob).\nknows(X, Y) -> person(Y).",
+		"p(X) -> ∃Y r(X, Y).\nr(X, Y) -> ∃Z r(Y, Z).",
+		"e(X, Y), s(X) -> exists Z e(Y, Z), s(Z).",
+		"% comment\np(a). p(b).\np(X) -> q(X, X).",
+		"nullary() .",
+		"r(X, Y) → p(Y).",
+		"p#1.2(a).",
+		"p(null_3). p(a') .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return // bound formatting cost; long inputs add no structure
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return // only accepted programs must round-trip
+		}
+		format := func(p *Program) string {
+			var b strings.Builder
+			if err := FormatDatabase(&b, p.Database); err != nil {
+				t.Fatalf("format database: %v", err)
+			}
+			if err := FormatRules(&b, p.Rules); err != nil {
+				t.Fatalf("format rules: %v", err)
+			}
+			return b.String()
+		}
+		first := format(prog)
+		prog2, err := Parse(first)
+		if err != nil {
+			t.Fatalf("re-parse of formatted program failed: %v\ninput: %q\nformatted:\n%s", err, src, first)
+		}
+		if a, b := prog.Database.CanonicalKey(), prog2.Database.CanonicalKey(); a != b {
+			t.Fatalf("database changed across round-trip:\ninput: %q\nbefore: %s\nafter:  %s", src, a, b)
+		}
+		if a, b := prog.Rules.String(), prog2.Rules.String(); a != b {
+			t.Fatalf("rules changed across round-trip:\ninput: %q\nbefore:\n%s\nafter:\n%s", src, a, b)
+		}
+		if second := format(prog2); first != second {
+			t.Fatalf("formatting is not a fixpoint:\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, first, second)
+		}
+	})
+}

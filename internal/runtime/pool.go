@@ -64,6 +64,12 @@ type Stats struct {
 type Pool struct {
 	workers int
 	jobs    []Job
+	// Compiler, when non-nil, is attached as chase.Options.Compile to
+	// every job submitted through SubmitChase that carries no compiler of
+	// its own, so a fleet of jobs sharing Σ pays ontology compilation once
+	// (internal/compile.Cache is the standard implementation). Per-job hit
+	// and miss counts come back in each result's chase.Stats.
+	Compiler chase.Compiler
 }
 
 // NewPool returns a pool with the given number of workers; workers <= 0
@@ -78,6 +84,16 @@ func (p *Pool) Workers() int { return p.workers }
 // Submit queues a job. Submit is not safe for concurrent use and must
 // precede Run.
 func (p *Pool) Submit(j Job) { p.jobs = append(p.jobs, j) }
+
+// SubmitChase queues a ChaseJob wired to the pool's Compiler: when opts
+// carries no Compile of its own, the pool's is attached, so every job of
+// the fleet fetches Σ's compiled programs from the shared cache.
+func (p *Pool) SubmitChase(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) {
+	if opts.Compile == nil {
+		opts.Compile = p.Compiler
+	}
+	p.Submit(ChaseJob(name, db, sigma, opts, b, exec))
+}
 
 // Run executes the submitted jobs and returns their results in submission
 // order together with aggregate statistics. Cancelling ctx stops the pool:
