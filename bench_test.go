@@ -172,6 +172,60 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerThroughput measures the streaming job scheduler on a
+// fleet of small chase jobs submitted incrementally against a bounded
+// admission queue (the serving shape: requests arrive continuously and
+// Submit blocks at the bound). The queue-bound sweep prices backpressure:
+// a tight bound forces the submitter to interleave with the workers, a
+// loose one approximates the batch pool. The cold/warm axis prices the
+// shared compilation cache on the streamed path, mirroring
+// BenchmarkPoolCompileCache for the batch path. Single-worker runs keep
+// the numbers meaningful on single-core runners; the multi-core variant
+// is gated like the other parallel benches.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	const jobs = 64
+	w := families.SLLower(2, 2, 2)
+	runFleet := func(b *testing.B, workers, bound int, comp chase.Compiler) {
+		for i := 0; i < b.N; i++ {
+			s := rt.NewScheduler(rt.SchedulerConfig{Workers: workers, QueueBound: bound, Compiler: comp})
+			tickets := make([]*rt.Ticket, jobs)
+			for j := 0; j < jobs; j++ {
+				tk, err := s.SubmitChase(fmt.Sprintf("job-%d", j), w.Database, w.Sigma,
+					chase.Options{}, rt.Budget{}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tickets[j] = tk
+			}
+			for _, r := range rt.Gather(tickets) {
+				if r.Err != nil || !r.Value.(*chase.Result).Terminated {
+					b.Fatalf("job %s: %+v", r.Name, r)
+				}
+			}
+			s.Close()
+		}
+		b.ReportMetric(float64(jobs), "jobs/op")
+	}
+	for _, bound := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("bound-%d/cold", bound), func(b *testing.B) {
+			runFleet(b, 1, bound, nil)
+		})
+		b.Run(fmt.Sprintf("bound-%d/warm", bound), func(b *testing.B) {
+			cache := compile.NewCache(8)
+			cache.CompiledChase(w.Sigma)
+			b.ResetTimer()
+			runFleet(b, 1, bound, cache)
+		})
+	}
+	b.Run("workers-4/bound-16/warm", func(b *testing.B) {
+		requireMultiCore(b)
+		cache := compile.NewCache(8)
+		cache.CompiledChase(w.Sigma)
+		b.ResetTimer()
+		runFleet(b, 4, 16, cache)
+	})
+}
+
 // BenchmarkPoolCompileCache measures the cross-request compilation cache
 // on the serving shapes it exists for: fleets of jobs sharing one Σ.
 // "cold" fleets rebuild Σ's artifacts inside every job, "warm" fleets

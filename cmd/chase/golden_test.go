@@ -28,6 +28,15 @@ func TestChaseGolden(t *testing.T) {
 			Exit: 1,
 		},
 		{
+			// The streaming path (scheduler ticket + round-level progress
+			// on stderr) must leave stdout byte-identical to the batch
+			// case; SameAs enforces it even under -update.
+			Name:   "infinite-budget-stream",
+			Argv:   []string{"-program", clitest.Example("infinite.dlgp"), "-max-atoms", "50", "-quiet", "-stats", "-stream"},
+			Exit:   1,
+			SameAs: "infinite-budget",
+		},
+		{
 			Name: "guarded-restricted",
 			Argv: []string{"-program", clitest.Example("guarded.dlgp"), "-engine", "restricted", "-max-atoms", "60", "-format", "dlgp"},
 			Exit: 1,

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	chase -data db.dlgp -rules onto.dlgp [-engine semi|oblivious|restricted]
-//	      [-max-atoms N] [-workers N] [-stats] [-quiet]
+//	      [-max-atoms N] [-workers N] [-stats] [-quiet] [-stream]
 //
 // Facts and rules may also live in a single file passed via -program.
 // With more than one worker, trigger collection is sharded across a
@@ -13,7 +13,12 @@
 // Compiled per-TGD programs are fetched from the process-wide compilation
 // cache (internal/compile), so repeated runs over one ontology — or many
 // tools in one process — pay analysis once; -stats reports the cache
-// interaction.
+// interaction. With -stream, the run is admitted to a streaming
+// runtime.Scheduler and its round-level progress events are printed to
+// stderr as rounds complete; stdout is byte-identical either way. A
+// budget-truncated run always ends its stdout with a deterministic
+// "% truncated" comment line (a dlgp comment, so -format dlgp output
+// stays re-parseable).
 package main
 
 import (
@@ -50,6 +55,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		quiet     = fs.Bool("quiet", false, "suppress the result instance")
 		format    = fs.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
 		workers   = cli.WorkersFlag(fs)
+		stream    = cli.StreamFlag(fs)
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,7 +86,31 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if w := cli.Workers(*workers); w > 1 {
 		opts.Executor = rt.NewExecutor(w)
 	}
-	res := chase.Run(db, rules, opts)
+	var res *chase.Result
+	if *stream {
+		// The streaming path: admit the run to a scheduler and render its
+		// round-level progress events while it executes. Unlike chtrm
+		// (which streams through a bare Progress callback), chase goes
+		// through the full Scheduler ticket deliberately, so the serving
+		// path — SubmitChase, progress channel, StreamTicket — is
+		// exercised end to end by the goldens. The result, and everything
+		// printed to stdout, is byte-identical to the direct call.
+		s := rt.NewScheduler(rt.SchedulerConfig{Workers: 1, QueueBound: 1})
+		defer s.Close()
+		ticket, err := s.SubmitChase("chase", db, rules, opts, rt.Budget{}, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+		r := cli.StreamTicket(stderr, "chase", ticket)
+		if r.Err != nil {
+			fmt.Fprintln(stderr, "chase:", r.Err)
+			return 2
+		}
+		res = r.Value.(*chase.Result)
+	} else {
+		res = chase.Run(db, rules, opts)
+	}
 	if !*quiet {
 		switch *format {
 		case "dlgp":
@@ -97,8 +127,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if !res.Terminated {
-		fmt.Fprintf(stderr, "chase: budget exhausted after %d atoms; the chase may be infinite\n",
-			res.Instance.Len())
+		// The truncation summary is part of the result, not a diagnostic:
+		// it lands on stdout, deterministically (the atom and round counts
+		// are byte-identical for any worker count and cache state), as a
+		// dlgp comment so -format dlgp output stays re-parseable.
+		fmt.Fprintf(stdout, "%% truncated: budget exhausted after %d atoms in %d rounds; the chase may be infinite\n",
+			res.Instance.Len(), res.Stats.Rounds)
 	}
 	if *stats {
 		s := res.Stats

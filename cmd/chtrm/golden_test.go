@@ -32,6 +32,14 @@ func TestChtrmGolden(t *testing.T) {
 			Argv: []string{"-program", clitest.Example("quickstart.dlgp"), "-method", "naive"},
 		},
 		{
+			// Streaming the probe's rounds to stderr must leave the verdict
+			// on stdout byte-identical to the batch case; SameAs enforces
+			// it even under -update.
+			Name:   "quickstart-naive-stream",
+			Argv:   []string{"-program", clitest.Example("quickstart.dlgp"), "-method", "naive", "-stream"},
+			SameAs: "quickstart-naive",
+		},
+		{
 			Name: "infinite-ucq",
 			Argv: []string{"-program", clitest.Example("infinite.dlgp"), "-method", "ucq"},
 			Exit: 1,

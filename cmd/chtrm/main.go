@@ -8,11 +8,14 @@
 // Usage:
 //
 //	chtrm -data db.dlgp -rules onto.dlgp [-method syntactic|naive|ucq]
-//	      [-max-atoms N] [-workers N] [-show-bounds]
+//	      [-max-atoms N] [-workers N] [-show-bounds] [-stream]
 //
 // The -workers flag parallelizes the naive method's chase-materialization
 // probe (the simulation that runs the chase against its restricted
 // budget); the verdict is byte-identical to the sequential probe. The
+// -stream flag prints the probe's round-level progress to stderr while it
+// materializes (it only applies to -method naive, the one long-running
+// method); the verdict on stdout is byte-identical either way. The
 // naive probe's compiled programs and the ucq method's UCQ build are
 // served by the process-wide compilation cache (internal/compile), keyed
 // by Σ's canonical fingerprint.
@@ -54,6 +57,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		dotPath    = fs.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
 		uniform    = fs.Bool("uniform", false, "decide uniform termination (every database) instead")
 		workers    = cli.WorkersFlag(fs)
+		stream     = cli.StreamFlag(fs)
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -107,7 +111,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if w := cli.Workers(*workers); w > 1 {
 			exec = rt.NewExecutor(w)
 		}
-		verdict, err = core.DecideNaiveWith(db, rules, *maxAtoms, exec, compile.Global())
+		opts := core.NaiveOptions{AtomCap: *maxAtoms, Executor: exec, Compiler: compile.Global()}
+		if *stream {
+			opts.Progress = cli.ProgressPrinter(stderr, "chtrm")
+		}
+		verdict, err = core.DecideNaiveOpt(db, rules, opts)
 	case *method == "ucq":
 		verdict, err = decideUCQ(db, rules, class)
 	default:

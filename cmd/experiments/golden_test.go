@@ -31,5 +31,13 @@ func TestExperimentsGolden(t *testing.T) {
 			Name: "xp-restricted-quick",
 			Argv: []string{"-exp", "XP-RESTRICTED", "-quick"},
 		},
+		{
+			// Completion events stream to stderr; the table on stdout must
+			// stay byte-identical to the batch case; SameAs enforces it
+			// even under -update.
+			Name:   "xp-restricted-quick-stream",
+			Argv:   []string{"-exp", "XP-RESTRICTED", "-quick", "-stream"},
+			SameAs: "xp-restricted-quick",
+		},
 	})
 }

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	experiments [-exp ID | -exp all] [-quick] [-workers N] [-format table|csv] [-list]
+//	experiments [-exp ID | -exp all] [-quick] [-workers N] [-format table|csv]
+//	            [-list] [-stream]
 //
-// The -workers flag sizes the job pool that pool-backed experiments
-// (currently XP-RESTRICTED, the heaviest random-trial sweep) use to run
-// independent points concurrently; timing-sensitive experiments stay
-// sequential on purpose. Pool jobs share the process-wide compilation
-// cache (internal/compile). Tables are identical for any worker count and
-// any cache state.
+// The -workers flag sizes the streaming job scheduler that
+// scheduler-backed experiments (currently XP-RESTRICTED, the heaviest
+// random-trial sweep) use to run independent points concurrently;
+// timing-sensitive experiments stay sequential on purpose. Scheduler jobs
+// share the process-wide compilation cache (internal/compile). With
+// -stream, per-trial completion events are printed to stderr as jobs
+// finish. Tables are identical for any worker count, cache state, and
+// stream setting.
 package main
 
 import (
@@ -42,6 +45,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		format  = fs.String("format", "table", "output format: table or csv")
 		list    = fs.Bool("list", false, "list experiment ids and exit")
 		workers = cli.WorkersFlag(fs)
+		stream  = cli.StreamFlag(fs)
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +74,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := experiments.Config{Quick: *quick, Workers: cli.Workers(*workers), Compiler: compile.Global()}
+	if *stream {
+		cfg.Stream = stderr
+	}
 	for _, e := range selected {
 		table, err := e.Run(cfg)
 		if err != nil {

@@ -35,11 +35,18 @@
 // read-only parallel phase and the mutating sequential phase, and a
 // parallel run is byte-identical (CanonicalKey, stats, forest,
 // derivation) to the sequential engine for all three chase variants.
-// Across runs, a multi-job Pool schedules fleets of independent chase and
-// decision jobs — one per (D, Σ) request, experiment point, or probe —
-// with per-job budgets (atoms, rounds, wall-clock), cancellation, and
-// aggregate statistics. Every tool takes -workers; determinism makes the
-// flag a pure performance knob.
+// Across runs, a streaming Scheduler serves fleets of independent chase
+// and decision jobs — one per (D, Σ) request, experiment point, or probe
+// — from a long-lived worker set behind a bounded admission queue:
+// concurrent Submit with backpressure at the bound (block or reject),
+// per-job budgets (atoms, rounds, wall-clock) and cancellation, per-job
+// results streamed over channels as jobs finish, round-level progress
+// events from running chase jobs, and graceful Drain/Close. The batch
+// Pool survives as a thin adapter that admits a whole batch and collates
+// the streamed results back into submission order, so batch and streamed
+// execution of one fleet are byte-identical (property-tested in
+// internal/runtime). Every tool takes -workers and -stream; determinism
+// makes both pure performance/observability knobs.
 //
 // Across requests, internal/compile is the ontology compilation cache:
 // every artifact derived from the TGD set Σ alone — the chase engine's

@@ -82,6 +82,15 @@ type Options struct {
 	// (runtime.Interrupter is). The multi-job scheduler uses it to
 	// enforce wall-clock budgets and cancellation.
 	Interrupt func() bool
+	// Progress, when non-nil, is invoked from the engine goroutine at every
+	// round boundary — the same barrier at which Interrupt is polled — with
+	// the run's statistics so far (the final round included). The engine
+	// calls it inline between the apply phase and the next round's
+	// collection, so a callback that blocks stalls the run: direct console
+	// diagnostics (chtrm's -stream probe) accept that, while the streaming
+	// scheduler (internal/runtime's Scheduler) decouples consumers through
+	// per-job latest-wins channels so a slow consumer throttles nothing.
+	Progress func(Stats)
 	// Compile, when non-nil, supplies the run's compiled per-TGD programs
 	// (head programs and per-seed body programs) instead of compiling them
 	// inside the run; internal/compile.Cache implements it as a
@@ -265,6 +274,9 @@ func (e *engine) run() bool {
 		}
 		deltaStart = e.inst.Len()
 		added := e.apply(pending)
+		if e.opts.Progress != nil {
+			e.opts.Progress(e.stats())
+		}
 		if e.stop {
 			return false
 		}

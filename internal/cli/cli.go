@@ -1,18 +1,23 @@
 // Package cli holds the input-loading and flag conventions shared by the
 // command-line tools: programs are either a single combined file (facts +
-// rules) or a separate database file and rules file, and every tool that
-// can parallelize takes the same -workers flag.
+// rules) or a separate database file and rules file, every tool that can
+// parallelize takes the same -workers flag, and every tool that runs
+// long-lived work takes the same -stream flag, which surfaces progress
+// and completion events on stderr as they happen. Streaming never touches
+// stdout, so golden outputs are identical with and without it.
 package cli
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"repro/internal/chase"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	rt "repro/internal/runtime"
 	"repro/internal/tgds"
 )
 
@@ -21,6 +26,57 @@ import (
 // runtime.GOMAXPROCS(0) through Workers.
 func WorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "worker goroutines for parallel phases (0 = GOMAXPROCS)")
+}
+
+// StreamFlag registers the conventional -stream flag: stream progress and
+// completion events to stderr while the run executes. Streaming is pure
+// observability — stdout is byte-identical with and without it.
+func StreamFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("stream", false, "stream per-round progress / per-job completion events to stderr")
+}
+
+// ProgressPrinter returns a chase.Options.Progress callback that renders
+// each round-boundary snapshot as one diagnostic line on w, prefixed by
+// the tool name.
+func ProgressPrinter(w io.Writer, tool string) func(chase.Stats) {
+	return func(s chase.Stats) {
+		fmt.Fprintf(w, "%s: stream round=%d atoms=%d nulls=%d fired=%d/%d\n",
+			tool, s.Rounds, s.Atoms, s.Nulls, s.TriggersFired, s.TriggersConsidered)
+	}
+}
+
+// StreamTicket consumes one scheduler ticket: round-level progress events
+// are rendered to w as they arrive (latest-wins — a slow writer only
+// misses intermediate rounds, never the final one), and the job's final
+// result is returned.
+func StreamTicket(w io.Writer, tool string, t *rt.Ticket) rt.JobResult {
+	print := ProgressPrinter(w, tool)
+	progress := t.Progress()
+	for {
+		select {
+		case s, ok := <-progress:
+			if !ok {
+				// The job finished and closed its progress stream; its
+				// result is moments away on Done.
+				progress = nil
+				continue
+			}
+			print(s)
+		case r := <-t.Done():
+			// The stream was closed before the result was delivered, so
+			// draining it here cannot block: render the tail (the final
+			// round's event may still be buffered when both channels were
+			// ready and select picked Done).
+			for progress != nil {
+				if s, ok := <-progress; ok {
+					print(s)
+				} else {
+					progress = nil
+				}
+			}
+			return r
+		}
+	}
 }
 
 // CacheState renders a run's compilation-cache interaction for the tools'

@@ -1,11 +1,17 @@
 package cli
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/parser"
+	rt "repro/internal/runtime"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -16,6 +22,38 @@ func TestWorkersResolution(t *testing.T) {
 	for _, n := range []int{0, -1} {
 		if got := Workers(n); got != want {
 			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS = %d", n, got, want)
+		}
+	}
+}
+
+// StreamTicket's tail guarantee: the final round's progress event is
+// always rendered, even when the result and the buffered last event are
+// ready in the same select (latest-wins may drop intermediate rounds
+// only). Repeated runs shake the select race out.
+func TestStreamTicketRendersFinalRound(t *testing.T) {
+	db := parser.MustParseDatabase(`e(a, b).`)
+	rules := parser.MustParseRules(`e(X, Y) -> ∃Z e(Y, Z).`)
+	for i := 0; i < 25; i++ {
+		s := rt.NewScheduler(rt.SchedulerConfig{Workers: 1, QueueBound: 1})
+		tk, err := s.SubmitChase("walk", db, rules, chase.Options{MaxRounds: 30}, rt.Budget{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r := StreamTicket(&buf, "tool", tk)
+		s.Close()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		res := r.Value.(*chase.Result)
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Fatal("no progress lines rendered")
+		}
+		want := fmt.Sprintf("tool: stream round=%d atoms=%d nulls=%d",
+			res.Stats.Rounds, res.Stats.Atoms, res.Stats.Nulls)
+		if last := lines[len(lines)-1]; !strings.HasPrefix(last, want) {
+			t.Fatalf("run %d: last rendered line %q, want the final round %q", i, last, want)
 		}
 	}
 }

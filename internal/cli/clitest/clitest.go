@@ -34,6 +34,13 @@ type Case struct {
 	// NoWorkers skips the -workers sweep for tools/flags where the flag
 	// does not apply; the case then runs once, as given.
 	NoWorkers bool
+	// SameAs names an earlier case whose golden file this case's stdout
+	// must equal byte for byte — the streaming-vs-batch identity. The
+	// named golden is the case's only oracle (no duplicate file is
+	// written or compared, so the twins can never go stale against each
+	// other), and it is enforced even under -update, so regeneration can
+	// never silently record a divergence.
+	SameAs string
 }
 
 // Golden runs every case and compares stdout against its golden file.
@@ -61,6 +68,17 @@ func Golden(t *testing.T, run RunFunc, cases []Case) {
 					t.Fatalf("%v: stdout differs between worker counts\n--- %v\n%s\n--- %v\n%s",
 						c.Argv, sweep[0], first, extra, stdout.Bytes())
 				}
+			}
+			if c.SameAs != "" {
+				want, err := os.ReadFile(filepath.Join("testdata", c.SameAs+".golden"))
+				if err != nil {
+					t.Fatalf("SameAs %q: %v (order the batch case before its stream twin)", c.SameAs, err)
+				}
+				if !bytes.Equal(want, first) {
+					t.Fatalf("stdout diverges from the %s golden it must match byte for byte:\n%s\nwant:\n%s",
+						c.SameAs, first, want)
+				}
+				return
 			}
 			path := filepath.Join("testdata", c.Name+".golden")
 			if *Update {

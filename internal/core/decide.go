@@ -67,9 +67,9 @@ type Analyses interface {
 // directAnalyses is the uncached Analyses: every call derives afresh.
 type directAnalyses struct{}
 
-func (directAnalyses) Simplified(s *tgds.Set) (*tgds.Set, error)  { return simplify.Set(s) }
-func (directAnalyses) DepGraph(s *tgds.Set) *depgraph.Graph       { return depgraph.Build(s) }
-func (directAnalyses) PredGraph(s *tgds.Set) *depgraph.PredGraph  { return depgraph.BuildPredGraph(s) }
+func (directAnalyses) Simplified(s *tgds.Set) (*tgds.Set, error) { return simplify.Set(s) }
+func (directAnalyses) DepGraph(s *tgds.Set) *depgraph.Graph      { return depgraph.Build(s) }
+func (directAnalyses) PredGraph(s *tgds.Set) *depgraph.PredGraph { return depgraph.BuildPredGraph(s) }
 
 func analysesOr(a Analyses) Analyses {
 	if a == nil {
@@ -200,13 +200,39 @@ func DecideNaiveExec(db *logic.Instance, sigma *tgds.Set, atomCap int, exec chas
 // compiles cold). The cache is a pure performance knob: the verdict is
 // identical either way.
 func DecideNaiveWith(db *logic.Instance, sigma *tgds.Set, atomCap int, exec chase.Executor, comp chase.Compiler) (*Verdict, error) {
+	return DecideNaiveOpt(db, sigma, NaiveOptions{AtomCap: atomCap, Executor: exec, Compiler: comp})
+}
+
+// NaiveOptions configures DecideNaiveOpt's materialization probe. Every
+// field is a pure performance or observability knob: the verdict is
+// identical for any combination.
+type NaiveOptions struct {
+	// AtomCap is the practical atom cap bounding the probe's memory; when
+	// the exact bound |D|·f_C(Σ) exceeds it the procedure may answer
+	// Unknown.
+	AtomCap int
+	// Executor, when non-nil, shards the probe's trigger collection
+	// (nil or single-worker executors run sequentially).
+	Executor chase.Executor
+	// Compiler, when non-nil, serves the probe's compiled per-TGD programs
+	// from a cross-request cache.
+	Compiler chase.Compiler
+	// Progress, when non-nil, receives the probe's statistics at every
+	// round boundary (chase.Options.Progress); streaming callers use it to
+	// surface the long-running materialization incrementally.
+	Progress func(chase.Stats)
+}
+
+// DecideNaiveOpt is the naive procedure with its probe fully configured
+// through NaiveOptions.
+func DecideNaiveOpt(db *logic.Instance, sigma *tgds.Set, o NaiveOptions) (*Verdict, error) {
 	class := sigma.Classify()
 	if class == tgds.ClassTGD {
 		return nil, fmt.Errorf("core: the naive procedure needs a size bound, unavailable for arbitrary TGDs")
 	}
 	b := SizeBound(sigma, class)
-	budget, exact := NaiveBudget(db.Len(), b, atomCap)
-	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget, Executor: exec, Compile: comp})
+	budget, exact := NaiveBudget(db.Len(), b, o.AtomCap)
+	res := chase.Run(db, sigma, chase.Options{MaxAtoms: budget, Executor: o.Executor, Compile: o.Compiler, Progress: o.Progress})
 	v := &Verdict{Class: class, Method: "naive chase materialization"}
 	switch {
 	case res.Terminated:

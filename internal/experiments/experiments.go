@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/chase"
@@ -26,6 +27,12 @@ type Config struct {
 	// performance knob — cached and cold runs are byte-identical — so
 	// tables do not depend on it.
 	Compiler chase.Compiler
+	// Stream, when non-nil, receives per-job completion events (one line
+	// per finished trial, in completion order) from scheduler-backed
+	// experiments while a sweep runs. The command passes stderr for
+	// -stream. Tables never depend on it: results are still tallied in
+	// submission order.
+	Stream io.Writer
 }
 
 // Experiment couples an identifier with a runner.

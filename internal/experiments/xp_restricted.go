@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/chase"
 	"repro/internal/families"
@@ -46,10 +47,18 @@ func runRestrictedGap(cfg Config) (*Table, error) {
 			return families.Workload{Sigma: s, Database: families.RandomDatabase(r, s, 3, 2)}
 		}},
 	}
+	// The trials run as streamed jobs through one long-lived scheduler
+	// shared by both generator fleets — the serving shape. The small
+	// bounded queue exerts real backpressure (Submit blocks while the
+	// workers drain), completions surface on cfg.Stream as they happen,
+	// and Gather collates results back into submission order, so the
+	// table is identical to the old batch pool's for any worker count.
+	sched := rt.NewScheduler(rt.SchedulerConfig{Workers: cfg.Workers, QueueBound: 16})
+	defer sched.Close()
 	for _, g := range gens {
 		// Workloads are generated sequentially so the RNG stream — and
 		// hence the trial set — is the fixture it always was; the chase
-		// pairs then run as independent pool jobs, one per trial.
+		// pairs then run as independent scheduler jobs, one per trial.
 		rng := rand.New(rand.NewSource(109))
 		var workloads []families.Workload
 		for trial := 0; trial < trials; trial++ {
@@ -59,10 +68,31 @@ func runRestrictedGap(cfg Config) (*Table, error) {
 			}
 			workloads = append(workloads, w)
 		}
-		pool := rt.NewPool(cfg.Workers)
+		// Only a streaming run watches completions. Observers attach at
+		// submission time, one goroutine per ticket, so events surface as
+		// jobs finish even while the submitting goroutine is parked on the
+		// queue bound — not in a burst once submission ends.
+		var streamWG sync.WaitGroup
+		var streamMu sync.Mutex
+		streamed := 0
+		watch := func(tk *rt.Ticket) {
+			if cfg.Stream == nil {
+				return
+			}
+			streamWG.Add(1)
+			go func() {
+				defer streamWG.Done()
+				r := tk.Wait()
+				streamMu.Lock()
+				streamed++
+				fmt.Fprintf(cfg.Stream, "XP-RESTRICTED: %s done (%d/%d)\n", r.Name, streamed, len(workloads))
+				streamMu.Unlock()
+			}()
+		}
+		tickets := make([]*rt.Ticket, len(workloads))
 		for i, w := range workloads {
 			w := w
-			pool.Submit(rt.Job{
+			ticket, err := sched.Submit(rt.Job{
 				Name: fmt.Sprintf("%s-trial-%d", g.name, i),
 				Run: func(context.Context) (any, error) {
 					// Both variant runs share one Σ, so with a compiler
@@ -73,8 +103,14 @@ func runRestrictedGap(cfg Config) (*Table, error) {
 					return [2]bool{semi.Terminated, restr.Terminated}, nil
 				},
 			})
+			if err != nil {
+				return nil, err
+			}
+			tickets[i] = ticket
+			watch(ticket)
 		}
-		results, _ := pool.Run(context.Background())
+		results := rt.Gather(tickets)
+		streamWG.Wait() // flush this fleet's events before the next gen's
 		var bothF, bothI, restrictedOnly, semiOnly int
 		for _, r := range results {
 			if r.Err != nil {

@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"context"
-	"errors"
 	"time"
 
 	"repro/internal/chase"
@@ -57,10 +56,17 @@ type Stats struct {
 }
 
 // Pool schedules a batch of independent jobs over a bounded worker set.
-// Submit jobs, then call Run once; a Pool is single-use. Jobs are claimed
-// dynamically, so long jobs do not starve short ones beyond the worker
-// count, and results always come back in submission order regardless of
-// completion order.
+// Submit jobs, then call Run once; a Pool is single-use. It is a thin
+// batch adapter over the streaming Scheduler: Run admits the whole batch
+// into a scheduler sized to never exert backpressure, gathers the results,
+// and collates them back into submission order, so the pre-streaming
+// determinism guarantees (submission-order aggregation, byte-identical
+// chase results) are preserved. Jobs are claimed dynamically, so long jobs
+// do not starve short ones beyond the worker count. One deliberate
+// behavioral change from the pre-streaming pool: a panicking job no longer
+// re-panics on Run's calling goroutine — the scheduler contains it as the
+// job's Err (tallied under Stats.Failed), so one faulty job cannot take
+// down a batch.
 type Pool struct {
 	workers int
 	jobs    []Job
@@ -101,38 +107,32 @@ func (p *Pool) SubmitChase(name string, db *logic.Instance, sigma *tgds.Set, opt
 // reported as Canceled.
 func (p *Pool) Run(ctx context.Context) ([]JobResult, Stats) {
 	start := time.Now()
-	results := make([]JobResult, len(p.jobs))
-	exec := &Executor{workers: p.workers}
-	exec.Map(len(p.jobs), func(i, _ int) {
-		j := p.jobs[i]
-		r := JobResult{Name: j.Name, Index: i}
-		if ctx.Err() != nil {
-			r.Err = ctx.Err()
-			r.Canceled = true
-			results[i] = r
-			return
+	// A queue as deep as the batch never exerts backpressure, so the whole
+	// batch is admitted up front and workers claim jobs in submission
+	// order, exactly as the pre-streaming pool did. Pool-level
+	// cancellation flows in through SubmitIn's context: running jobs see
+	// their contexts cancelled, queued jobs are skipped and reported as
+	// Canceled.
+	bound := len(p.jobs)
+	if bound == 0 {
+		bound = 1
+	}
+	s := NewScheduler(SchedulerConfig{Workers: p.workers, QueueBound: bound})
+	tickets := make([]*Ticket, len(p.jobs))
+	for i, j := range p.jobs {
+		t, err := s.SubmitIn(ctx, j)
+		if err != nil {
+			// Unreachable: the queue holds the whole batch and the
+			// scheduler is private to this run, never closed mid-admission.
+			panic(err)
 		}
-		jctx := ctx
-		cancel := func() {}
-		if j.Wall > 0 {
-			jctx, cancel = context.WithTimeout(ctx, j.Wall)
-		}
-		t0 := time.Now()
-		r.Value, r.Err = j.Run(jctx)
-		r.Wall = time.Since(t0)
-		// TimedOut means the job's own wall budget expired; a pool-level
-		// deadline is the caller's event, not a per-job one.
-		r.TimedOut = j.Wall > 0 && jctx.Err() == context.DeadlineExceeded && ctx.Err() == nil
-		// Preemption by the pool — parent cancellation or a pool-level
-		// deadline — surfaces as the parent context's error; classify both
-		// as Canceled, keeping Failed for the job's own errors. A job that
-		// absorbs the preemption and still returns a value keeps its
-		// result (chase jobs report truncation through Terminated ==
-		// false instead).
-		r.Canceled = r.Err != nil && ctx.Err() != nil && errors.Is(r.Err, ctx.Err())
-		cancel()
-		results[i] = r
-	})
+		tickets[i] = t
+	}
+	// The scheduler is fresh and submission is sequential, so each
+	// ticket's index equals its batch position and Gather's collation
+	// already carries the submission-order Index every result reports.
+	results := Gather(tickets)
+	s.Close()
 	stats := Stats{Jobs: len(p.jobs), Wall: time.Since(start)}
 	for _, r := range results {
 		stats.JobWall += r.Wall
@@ -176,10 +176,11 @@ func Interrupter(ctx context.Context) func() bool {
 // ChaseJob builds a Job that chases db with sigma under opts, bounded by
 // the budget. The budget's atom and round caps override the corresponding
 // opts fields when set; the wall-clock budget is enforced through the
-// job's context and chase.Options.Interrupt. exec (which may be nil)
-// parallelizes trigger collection within the job. The job's value is the
-// *chase.Result; a run that exhausted any budget comes back with
-// Terminated == false, never as an error.
+// job's context and chase.Options.Interrupt. exec, when non-nil,
+// parallelizes trigger collection within the job, overriding
+// opts.Executor; a nil exec leaves opts.Executor in force. The job's
+// value is the *chase.Result; a run that exhausted any budget comes back
+// with Terminated == false, never as an error.
 func ChaseJob(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) Job {
 	if b.MaxAtoms > 0 {
 		opts.MaxAtoms = b.MaxAtoms
@@ -187,7 +188,9 @@ func ChaseJob(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Optio
 	if b.MaxRounds > 0 {
 		opts.MaxRounds = b.MaxRounds
 	}
-	opts.Executor = exec
+	if exec != nil {
+		opts.Executor = exec
+	}
 	return Job{
 		Name: name,
 		Wall: b.Wall,

@@ -12,13 +12,21 @@
 //     (see internal/chase/parallel.go for the contract and the
 //     determinism property test in this package for the evidence).
 //
-//   - Pool, a multi-job scheduler, runs fleets of independent chase and
-//     decision jobs — one per (D, Σ) request, experiment point, or probe —
-//     across a bounded set of workers, with per-job budgets (atoms,
-//     rounds, wall-clock), cancellation, ordered results, and aggregate
-//     statistics.
+//   - Scheduler, the streaming multi-job runtime, serves fleets of
+//     independent chase and decision jobs — one per (D, Σ) request,
+//     experiment point, or probe — from a long-lived worker set behind a
+//     bounded admission queue. Submit is safe from any goroutine; the
+//     queue bound exerts backpressure (Block waits for a slot, Reject
+//     fails fast with ErrQueueFull); every job carries per-job budgets
+//     (atoms, rounds, wall-clock) and cancellation; results stream back
+//     over per-ticket channels as jobs finish, chase tickets additionally
+//     stream round-level progress (chase.Options.Progress, latest-wins);
+//     Drain and Close shut fleets down gracefully. Gather collates a
+//     fleet's streamed results back into submission order, which is how
+//     the batch Pool — now a thin single-use adapter over a Scheduler —
+//     preserves the pre-streaming determinism guarantees.
 //
-// The two compose: a Pool job may itself carry an Executor, trading
+// The two compose: a Scheduler job may itself carry an Executor, trading
 // intra-run against cross-job parallelism.
 package runtime
 

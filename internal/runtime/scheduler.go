@@ -1,0 +1,421 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// Backpressure selects what Submit does when the admission queue is full.
+type Backpressure int
+
+const (
+	// Block makes Submit wait for a queue slot (or for Close, which fails
+	// the waiting Submit with ErrSchedulerClosed). This is the default.
+	Block Backpressure = iota
+	// Reject makes Submit fail fast with ErrQueueFull, leaving the caller
+	// to shed or retry the job.
+	Reject
+)
+
+// String returns the conventional name of the policy.
+func (b Backpressure) String() string {
+	if b == Reject {
+		return "reject"
+	}
+	return "block"
+}
+
+var (
+	// ErrQueueFull is returned by Submit under the Reject policy when the
+	// admission queue is at its bound.
+	ErrQueueFull = errors.New("runtime: scheduler admission queue is full")
+	// ErrSchedulerClosed is returned by Submit once Close has been called.
+	ErrSchedulerClosed = errors.New("runtime: scheduler is closed")
+)
+
+// DefaultQueueBound is the admission-queue capacity selected when
+// SchedulerConfig.QueueBound is not positive.
+const DefaultQueueBound = 64
+
+// SchedulerConfig configures a Scheduler. The zero value is usable:
+// GOMAXPROCS workers, a DefaultQueueBound-deep queue, blocking
+// backpressure, no shared compiler.
+type SchedulerConfig struct {
+	// Workers is the number of job workers; <= 0 selects GOMAXPROCS(0).
+	Workers int
+	// QueueBound caps the admission queue (jobs accepted but not yet
+	// started); <= 0 selects DefaultQueueBound. The queue length never
+	// exceeds the bound — that is the backpressure invariant the stress
+	// tests pin down.
+	QueueBound int
+	// Backpressure selects Submit's behavior at the bound: Block (default)
+	// or Reject.
+	Backpressure Backpressure
+	// Compiler, when non-nil, is attached as chase.Options.Compile to every
+	// job submitted through SubmitChase that carries no compiler of its
+	// own, so a fleet of jobs sharing Σ pays ontology compilation once
+	// (internal/compile.Cache is the standard implementation).
+	Compiler chase.Compiler
+}
+
+// Scheduler is the streaming multi-job runtime: a long-lived worker set
+// behind a bounded admission queue. Unlike the batch Pool (which is a thin
+// adapter over a Scheduler), a Scheduler accepts Submit from any goroutine
+// at any time, delivers every job's result over its Ticket as the job
+// finishes, supports per-job cancellation, and shuts down gracefully via
+// Drain and Close. A panicking job is contained: it fails its own ticket
+// (the panic value wrapped in the result's Err) and the workers keep
+// serving. It is the serving shape of the paper's non-uniform setting:
+// chase/decision requests for (Σ, D) pairs arrive continuously, not as
+// one pre-assembled batch.
+type Scheduler struct {
+	workers  int
+	bound    int
+	policy   Backpressure
+	compiler chase.Compiler
+
+	queue    chan *Ticket
+	closing  chan struct{}
+	workerWG sync.WaitGroup
+
+	mu      sync.Mutex
+	idle    sync.Cond // signaled whenever active drops to zero
+	seq     int       // next ticket index
+	active  int       // admitted but not yet completed tickets
+	closed  bool      // Submit rejects; set by Close
+	stopped bool      // queue closed; set once by the first Close to finish
+}
+
+// NewScheduler starts a scheduler: its workers run until Close.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{
+		workers:  NewExecutor(cfg.Workers).Workers(),
+		bound:    cfg.QueueBound,
+		policy:   cfg.Backpressure,
+		compiler: cfg.Compiler,
+		closing:  make(chan struct{}),
+	}
+	if s.bound <= 0 {
+		s.bound = DefaultQueueBound
+	}
+	s.idle.L = &s.mu
+	s.queue = make(chan *Ticket, s.bound)
+	s.workerWG.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the number of job workers.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// QueueBound returns the admission-queue capacity.
+func (s *Scheduler) QueueBound() int { return s.bound }
+
+// QueueLen returns the number of admitted jobs not yet claimed by a
+// worker. It is never greater than QueueBound.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Ticket is one submitted job's handle: its result arrives on Done (or
+// through Wait) exactly once, round-level progress events of chase jobs
+// arrive on Progress, and Cancel preempts the job.
+type Ticket struct {
+	job      Job
+	index    int
+	ctx      context.Context
+	cancelFn context.CancelFunc
+	done     chan JobResult
+	progress chan chase.Stats
+
+	once   sync.Once
+	result JobResult
+}
+
+// Name returns the job's name.
+func (t *Ticket) Name() string { return t.job.Name }
+
+// Index returns the ticket's submission sequence number: unique per
+// scheduler and monotone in the order concurrent Submit calls entered the
+// scheduler — which is the submission order itself whenever one goroutine
+// submits the fleet, as the batch Pool does for its submission-order
+// aggregation. It is not an execution order (two racing Submits may be
+// claimed by workers in either order), and a blocked Submit that fails on
+// cancellation or Close leaves a gap in the sequence.
+func (t *Ticket) Index() int { return t.index }
+
+// Done returns the channel on which the job's result is delivered
+// (buffered, exactly one send — a worker never blocks on delivery and a
+// result is never lost). Use Done in select loops; use Wait when blocking
+// is fine. Mixing both on one ticket is a mistake: a result received from
+// Done is consumed and Wait would block forever.
+func (t *Ticket) Done() <-chan JobResult { return t.done }
+
+// Progress returns the round-level progress stream of a chase job
+// submitted through SubmitChase: the engine's statistics at each round
+// boundary, with latest-wins semantics (a slow consumer only ever misses
+// intermediate events, never the stream's tail). The channel is closed
+// when the job finishes, just before the result is delivered. For jobs
+// with no progress stream it returns nil, which blocks forever in a
+// select — exactly the inert behavior a multiplexed consumer wants.
+func (t *Ticket) Progress() <-chan chase.Stats { return t.progress }
+
+// Cancel preempts the job: if it has not started it is skipped and
+// reported as Canceled; if it is running, its context is cancelled and
+// chase jobs stop at the next Interrupt poll. The result is still
+// delivered. Cancel is idempotent and safe after completion.
+func (t *Ticket) Cancel() { t.cancelFn() }
+
+// Wait blocks until the job finishes and returns its result; repeated
+// calls return the same result.
+func (t *Ticket) Wait() JobResult {
+	t.once.Do(func() { t.result = <-t.done })
+	return t.result
+}
+
+// Submit admits a job. It is safe for concurrent use from any goroutine.
+// Under the Block policy a full queue makes Submit wait; under Reject it
+// returns ErrQueueFull. After Close, Submit returns ErrSchedulerClosed.
+func (s *Scheduler) Submit(j Job) (*Ticket, error) {
+	return s.submit(context.Background(), j, nil)
+}
+
+// SubmitIn is Submit with the job's context derived from ctx (in addition
+// to the ticket's own Cancel): cancelling ctx cancels the job. A job
+// whose context is already cancelled is still admitted when the queue has
+// room (it is skipped by its worker and reported as Canceled — the batch
+// Pool relies on this to classify jobs queued behind a cancellation); a
+// Submit parked on a full queue under the Block policy, however, returns
+// ctx.Err() as soon as ctx is cancelled instead of waiting for a slot, so
+// a dead request never leaks a blocked submitter.
+func (s *Scheduler) SubmitIn(ctx context.Context, j Job) (*Ticket, error) {
+	return s.submit(ctx, j, nil)
+}
+
+// SubmitChase admits a ChaseJob wired to the scheduler's Compiler (when
+// opts carries none of its own) and to the ticket's Progress stream: the
+// run's chase.Options.Progress forwards each round-boundary Stats snapshot
+// into the ticket with latest-wins semantics.
+func (s *Scheduler) SubmitChase(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) (*Ticket, error) {
+	return s.SubmitChaseIn(context.Background(), name, db, sigma, opts, b, exec)
+}
+
+// SubmitChaseIn is SubmitChase with the job's context derived from ctx.
+func (s *Scheduler) SubmitChaseIn(ctx context.Context, name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) (*Ticket, error) {
+	if opts.Compile == nil {
+		opts.Compile = s.compiler
+	}
+	progress := make(chan chase.Stats, 1)
+	prev := opts.Progress
+	opts.Progress = func(st chase.Stats) {
+		if prev != nil {
+			prev(st)
+		}
+		pushLatest(progress, st)
+	}
+	return s.submit(ctx, ChaseJob(name, db, sigma, opts, b, exec), progress)
+}
+
+// pushLatest delivers st to a 1-buffered channel with latest-wins
+// semantics. Single producer (the engine goroutine); the consumer may
+// receive concurrently.
+func pushLatest(ch chan chase.Stats, st chase.Stats) {
+	select {
+	case ch <- st:
+		return
+	default:
+	}
+	// Full: evict the stale event (unless the consumer just took it) and
+	// deliver. With one producer the second send cannot find the channel
+	// full again, so the event is never dropped from the tail.
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case ch <- st:
+	default:
+	}
+}
+
+func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSchedulerClosed
+	}
+	tctx, cancel := context.WithCancel(ctx)
+	t := &Ticket{
+		job:      j,
+		index:    s.seq,
+		ctx:      tctx,
+		cancelFn: cancel,
+		done:     make(chan JobResult, 1),
+		progress: progress,
+	}
+	if s.policy == Reject {
+		// The non-blocking enqueue happens under the lock so the
+		// closed-check, index assignment, and admission are one atomic
+		// step; workers receive without the lock, so this cannot deadlock.
+		select {
+		case s.queue <- t:
+			s.seq++
+			s.active++
+			s.mu.Unlock()
+			return t, nil
+		default:
+			s.mu.Unlock()
+			cancel()
+			return nil, ErrQueueFull
+		}
+	}
+	s.seq++
+	s.active++
+	s.mu.Unlock()
+	// Prefer admission: when the queue has room, a job is accepted even if
+	// its context is already done (its worker will skip it and report
+	// Canceled). Only a Submit that would actually park waits on the
+	// context and the scheduler's closing signal.
+	select {
+	case s.queue <- t:
+		return t, nil
+	default:
+	}
+	select {
+	case s.queue <- t:
+		return t, nil
+	case <-ctx.Done():
+		s.release()
+		cancel()
+		return nil, ctx.Err()
+	case <-s.closing:
+		s.release()
+		cancel()
+		return nil, ErrSchedulerClosed
+	}
+}
+
+// release retires one admitted ticket and wakes Drain/Close waiters when
+// the scheduler goes idle.
+func (s *Scheduler) release() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.idle.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		s.run(t)
+	}
+}
+
+// run executes one ticket and delivers its result. The classification
+// mirrors the batch Pool's contract: TimedOut means the job's own wall
+// budget expired; preemption through the ticket's context (Cancel or a
+// parent context's cancellation/deadline) is Canceled; a job that absorbs
+// the preemption and still returns a value counts as succeeded.
+func (s *Scheduler) run(t *Ticket) {
+	defer s.release()
+	defer t.cancelFn()
+	r := JobResult{Name: t.job.Name, Index: t.index}
+	if err := t.ctx.Err(); err != nil {
+		r.Err = err
+		r.Canceled = true
+	} else {
+		jctx := t.ctx
+		cancel := func() {}
+		if t.job.Wall > 0 {
+			jctx, cancel = context.WithTimeout(t.ctx, t.job.Wall)
+		}
+		t0 := time.Now()
+		r.Value, r.Err = invoke(t.job, jctx)
+		r.Wall = time.Since(t0)
+		r.TimedOut = t.job.Wall > 0 && jctx.Err() == context.DeadlineExceeded && t.ctx.Err() == nil
+		r.Canceled = r.Err != nil && t.ctx.Err() != nil && errors.Is(r.Err, t.ctx.Err())
+		cancel()
+	}
+	if t.progress != nil {
+		close(t.progress)
+	}
+	t.done <- r
+}
+
+// invoke runs one job, containing a panic as the job's error: in a
+// long-lived serving scheduler one panicking tenant must fail its own
+// ticket, not unwind a worker goroutine and kill every other tenant's
+// process. (The intra-run Executor keeps its own contract of re-panicking
+// on the calling goroutine — there the caller is the one run.)
+func invoke(j Job, ctx context.Context) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = nil, fmt.Errorf("runtime: job %s panicked: %v", j.Name, p)
+		}
+	}()
+	return j.Run(ctx)
+}
+
+// Drain blocks until every admitted job has completed and its result been
+// delivered. It does not stop admission: jobs submitted while draining
+// extend the wait. Use Close for a terminal drain.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	for s.active > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close shuts the scheduler down gracefully: admission stops (concurrent
+// and subsequent Submits fail with ErrSchedulerClosed, and Submits parked
+// on a full queue are woken to fail the same way — though one racing the
+// shutdown against a freshly freed slot may win the slot and be admitted
+// normally), every admitted job still runs to completion with its result
+// delivered, and the workers exit. Close is idempotent and safe to call
+// concurrently; it returns once the scheduler is fully stopped.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+	}
+	for s.active > 0 {
+		s.idle.Wait()
+	}
+	stop := !s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if stop {
+		close(s.queue)
+	}
+	s.workerWG.Wait()
+}
+
+// Gather waits for every ticket and returns the results collated in the
+// given (submission) order. It is the bridge from the streaming scheduler
+// back to batch semantics: the batch Pool and the experiment fleets use
+// it so their aggregates stay submission-ordered — and byte-identical to
+// the pre-streaming runtime. Callers that want completion-order events
+// attach their own per-ticket watchers at submission time (as the
+// XP-RESTRICTED sweep does), which observes finishes even while the
+// submitter is still parked on the queue bound.
+func Gather(tickets []*Ticket) []JobResult {
+	out := make([]JobResult, len(tickets))
+	for i, t := range tickets {
+		out[i] = t.Wait()
+	}
+	return out
+}
