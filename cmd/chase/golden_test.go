@@ -37,6 +37,14 @@ func TestChaseGolden(t *testing.T) {
 			SameAs: "infinite-budget",
 		},
 		{
+			// A JSON request file (typed service envelope, high-priority
+			// lane, named tenant) must reproduce the flag invocation byte
+			// for byte; SameAs enforces it even under -update.
+			Name:   "quickstart-request",
+			Argv:   []string{"-request", clitest.Example("quickstart.request.json")},
+			SameAs: "quickstart-pretty",
+		},
+		{
 			Name: "guarded-restricted",
 			Argv: []string{"-program", clitest.Example("guarded.dlgp"), "-engine", "restricted", "-max-atoms", "60", "-format", "dlgp"},
 			Exit: 1,

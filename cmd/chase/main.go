@@ -6,34 +6,42 @@
 //
 //	chase -data db.dlgp -rules onto.dlgp [-engine semi|oblivious|restricted]
 //	      [-max-atoms N] [-workers N] [-stats] [-quiet] [-stream]
+//	chase -request req.json [-workers N] [-stats] [-quiet] [-stream]
 //
-// Facts and rules may also live in a single file passed via -program.
-// With more than one worker, trigger collection is sharded across a
-// worker pool; the result is byte-identical to the sequential engine.
-// Compiled per-TGD programs are fetched from the process-wide compilation
-// cache (internal/compile), so repeated runs over one ontology — or many
-// tools in one process — pay analysis once; -stats reports the cache
-// interaction. With -stream, the run is admitted to a streaming
-// runtime.Scheduler and its round-level progress events are printed to
-// stderr as rounds complete; stdout is byte-identical either way. A
-// budget-truncated run always ends its stdout with a deterministic
-// "% truncated" comment line (a dlgp comment, so -format dlgp output
-// stays re-parseable).
+// Facts and rules may also live in a single file passed via -program, or
+// the whole invocation in a JSON request file passed via -request — the
+// typed service envelope (internal/service.RequestFile: inputs, engine,
+// budgets, tenant and priority lane) that a remote submitter would ship,
+// replayed locally. Every run routes through the service layer: the
+// request envelope is submitted to an in-process service and the result
+// ticket is awaited, so the public submission path — the one a
+// distributed deployment serves — is exercised end to end by these
+// goldens. With more than one worker, trigger collection is sharded
+// across a worker pool; the result is byte-identical to the sequential
+// engine. Compiled per-TGD programs are fetched from the process-wide
+// compilation cache (internal/compile), so repeated runs over one
+// ontology — or many tools in one process — pay analysis once; -stats
+// reports the cache interaction, including the cache's approximate byte
+// footprint. With -stream, the ticket's round-level progress events are
+// printed to stderr as rounds complete; stdout is byte-identical either
+// way. A budget-truncated run always ends its stdout with a
+// deterministic "% truncated" comment line (a dlgp comment, so -format
+// dlgp output stays re-parseable).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"repro/internal/chase"
 	"repro/internal/cli"
 	"repro/internal/compile"
 	"repro/internal/logic"
 	"repro/internal/parser"
-	rt "repro/internal/runtime"
+	"repro/internal/service"
 )
 
 func main() {
@@ -54,6 +62,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print run statistics")
 		quiet     = fs.Bool("quiet", false, "suppress the result instance")
 		format    = fs.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
+		request   = cli.RequestFlag(fs)
 		workers   = cli.WorkersFlag(fs)
 		stream    = cli.StreamFlag(fs)
 	)
@@ -64,53 +73,66 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
-	if err != nil {
-		fmt.Fprintln(stderr, "chase:", err)
-		return 2
-	}
-	var variant chase.Variant
-	switch *engine {
-	case "semi", "semi-oblivious":
-		variant = chase.SemiOblivious
-	case "oblivious":
-		variant = chase.Oblivious
-	case "restricted", "standard":
-		variant = chase.Restricted
-	default:
-		fmt.Fprintf(stderr, "chase: unknown engine %q\n", *engine)
-		return 2
-	}
-
-	opts := chase.Options{Variant: variant, MaxAtoms: *maxAtoms, Compile: compile.Global()}
-	if w := cli.Workers(*workers); w > 1 {
-		opts.Executor = rt.NewExecutor(w)
-	}
-	var res *chase.Result
-	if *stream {
-		// The streaming path: admit the run to a scheduler and render its
-		// round-level progress events while it executes. Unlike chtrm
-		// (which streams through a bare Progress callback), chase goes
-		// through the full Scheduler ticket deliberately, so the serving
-		// path — SubmitChase, progress channel, StreamTicket — is
-		// exercised end to end by the goldens. The result, and everything
-		// printed to stdout, is byte-identical to the direct call.
-		s := rt.NewScheduler(rt.SchedulerConfig{Workers: 1, QueueBound: 1})
-		defer s.Close()
-		ticket, err := s.SubmitChase("chase", db, rules, opts, rt.Budget{}, nil)
+	// Assemble the request envelope: from the request file (which then
+	// owns inputs, engine, and budgets) or from the input flags.
+	var req service.ChaseRequest
+	if *request != "" {
+		f, err := service.LoadRequestFile(*request)
 		if err != nil {
 			fmt.Fprintln(stderr, "chase:", err)
 			return 2
 		}
-		r := cli.StreamTicket(stderr, "chase", ticket)
-		if r.Err != nil {
-			fmt.Fprintln(stderr, "chase:", r.Err)
+		if req, err = f.ChaseRequest(); err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
 			return 2
 		}
-		res = r.Value.(*chase.Result)
 	} else {
-		res = chase.Run(db, rules, opts)
+		db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
+		if err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+		variant, err := service.ParseVariant(*engine)
+		if err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+		req = service.ChaseRequest{
+			Database: service.Payload{Instance: db},
+			Ontology: service.OntologyRef{Set: rules},
+			Variant:  variant,
+			MaxAtoms: *maxAtoms,
+		}
 	}
+	if req.MaxAtoms == 0 {
+		// A request file without a budget inherits the flag's cap (and
+		// its 1e6 default), so a filed chase of a non-terminating
+		// ontology is never accidentally unbounded.
+		req.MaxAtoms = *maxAtoms
+	}
+	req.Workers = cli.Workers(*workers)
+
+	// One-shot service over the process-wide compilation cache: submit
+	// the envelope, await (or stream) the ticket.
+	svc := service.New(service.Config{Workers: 1, QueueBound: 1})
+	defer svc.Close()
+	ticket, err := svc.SubmitChase(context.Background(), req)
+	if err != nil {
+		fmt.Fprintln(stderr, "chase:", err)
+		return 2
+	}
+	var r service.Result
+	if *stream {
+		r = cli.StreamServiceTicket(stderr, "chase", ticket)
+	} else {
+		r = ticket.Wait()
+	}
+	if r.Err != nil {
+		fmt.Fprintln(stderr, "chase:", r.Err)
+		return 2
+	}
+	res := r.Chase
+
 	if !*quiet {
 		switch *format {
 		case "dlgp":
@@ -136,10 +158,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		s := res.Stats
+		cs := compile.Global().Stats()
 		fmt.Fprintf(stderr,
-			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v cache=%s\n",
-			variant, s.Atoms, s.InitialAtoms, s.Rounds, s.TriggersFired, s.TriggersConsidered,
-			s.Nulls, s.MaxDepth, res.Terminated, cli.CacheState(s))
+			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v cache=%s cache-entries=%d cache-bytes=%d\n",
+			req.Variant, s.Atoms, s.InitialAtoms, s.Rounds, s.TriggersFired, s.TriggersConsidered,
+			s.Nulls, s.MaxDepth, res.Terminated, cli.CacheState(s), cs.Entries, cs.Bytes)
 	}
 	if !res.Terminated {
 		return 1

@@ -53,6 +53,14 @@ func TestChtrmGolden(t *testing.T) {
 			Argv: []string{"-program", clitest.Example("linear.dlgp"), "-method", "ucq"},
 		},
 		{
+			// A JSON decide-request file must reproduce the flag
+			// invocation byte for byte; SameAs enforces it even under
+			// -update.
+			Name:   "linear-ucq-request",
+			Argv:   []string{"-request", clitest.Example("linear-ucq.request.json")},
+			SameAs: "linear-ucq",
+		},
+		{
 			Name: "guarded-syntactic",
 			Argv: []string{"-program", clitest.Example("guarded.dlgp")},
 			Exit: 1,

@@ -9,21 +9,26 @@
 //
 //	chtrm -data db.dlgp -rules onto.dlgp [-method syntactic|naive|ucq]
 //	      [-max-atoms N] [-workers N] [-show-bounds] [-stream]
+//	chtrm -request req.json [-workers N] [-stream]
 //
-// The -workers flag parallelizes the naive method's chase-materialization
-// probe (the simulation that runs the chase against its restricted
-// budget); the verdict is byte-identical to the sequential probe. The
-// -stream flag prints the probe's round-level progress to stderr while it
-// materializes (it only applies to -method naive, the one long-running
-// method); the verdict on stdout is byte-identical either way. The
-// naive probe's compiled programs and the ucq method's UCQ build are
-// served by the process-wide compilation cache (internal/compile), keyed
-// by Σ's canonical fingerprint.
+// Every decision routes through the service layer as a typed
+// DecideRequest (internal/service) — the same envelope a remote
+// submitter would ship, also loadable from a JSON request file via
+// -request. The -workers flag parallelizes the naive method's
+// chase-materialization probe (the simulation that runs the chase
+// against its restricted budget); the verdict is byte-identical to the
+// sequential probe. The -stream flag prints the probe's round-level
+// progress to stderr while it materializes (it only applies to -method
+// naive, the one long-running method); the verdict on stdout is
+// byte-identical either way. The naive probe's compiled programs and the
+// ucq method's UCQ build are served by the process-wide compilation
+// cache (internal/compile), keyed by Σ's canonical fingerprint.
 //
 // Exit status: 0 terminating, 1 non-terminating, 3 unknown.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,8 +38,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/logic"
-	rt "repro/internal/runtime"
+	"repro/internal/service"
 	"repro/internal/tgds"
 )
 
@@ -56,6 +60,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		showBounds = fs.Bool("show-bounds", false, "print d_C(Σ) and f_C(Σ)")
 		dotPath    = fs.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
 		uniform    = fs.Bool("uniform", false, "decide uniform termination (every database) instead")
+		request    = cli.RequestFlag(fs)
 		workers    = cli.WorkersFlag(fs)
 		stream     = cli.StreamFlag(fs)
 	)
@@ -66,9 +71,49 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
-	if err != nil {
-		fmt.Fprintln(stderr, "chtrm:", err)
+	// Assemble the decision envelope: from the request file or the flags.
+	var req service.DecideRequest
+	if *request != "" {
+		f, err := service.LoadRequestFile(*request)
+		if err != nil {
+			fmt.Fprintln(stderr, "chtrm:", err)
+			return 2
+		}
+		if req, err = f.DecideRequest(); err != nil {
+			fmt.Fprintln(stderr, "chtrm:", err)
+			return 2
+		}
+	} else {
+		db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
+		if err != nil {
+			fmt.Fprintln(stderr, "chtrm:", err)
+			return 2
+		}
+		req = service.DecideRequest{
+			Database: service.Payload{Instance: db},
+			Ontology: service.OntologyRef{Set: rules},
+			Method:   *method,
+			AtomCap:  *maxAtoms,
+		}
+	}
+	// CLI-side overrides apply in both modes, like -workers and -stream.
+	if *uniform {
+		req.Method = "uniform"
+	}
+	if req.AtomCap == 0 {
+		// A request file without an atomCap inherits the flag's cap (and
+		// its 1e6 default), so the naive probe is never accidentally
+		// unbounded just because the envelope came from a file.
+		req.AtomCap = *maxAtoms
+	}
+	req.Workers = cli.Workers(*workers)
+	if *stream {
+		req.Progress = cli.ProgressPrinter(stderr, "chtrm")
+	}
+
+	rules := req.Ontology.Set
+	if rules == nil {
+		fmt.Fprintln(stderr, "chtrm: request names no rule set")
 		return 2
 	}
 	class := rules.Classify()
@@ -100,33 +145,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var verdict *core.Verdict
-	switch {
-	case *uniform:
-		verdict, err = core.DecideUniformWith(rules, compile.Global())
-	case *method == "syntactic":
-		verdict, err = core.DecideWith(db, rules, compile.Global())
-	case *method == "naive":
-		var exec *rt.Executor
-		if w := cli.Workers(*workers); w > 1 {
-			exec = rt.NewExecutor(w)
-		}
-		opts := core.NaiveOptions{AtomCap: *maxAtoms, Executor: exec, Compiler: compile.Global()}
-		if *stream {
-			opts.Progress = cli.ProgressPrinter(stderr, "chtrm")
-		}
-		verdict, err = core.DecideNaiveOpt(db, rules, opts)
-	case *method == "ucq":
-		verdict, err = decideUCQ(db, rules, class)
-	default:
-		err = fmt.Errorf("chtrm: unknown method %q", *method)
-	}
+	// One-shot service over the process-wide compilation cache.
+	svc := service.New(service.Config{Workers: 1, QueueBound: 1})
+	defer svc.Close()
+	ticket, err := svc.SubmitDecide(context.Background(), req)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	fmt.Fprintln(stdout, verdict)
-	switch verdict.Outcome {
+	r := ticket.Wait()
+	if r.Err != nil {
+		fmt.Fprintln(stderr, r.Err)
+		return 2
+	}
+	fmt.Fprintln(stdout, r.Verdict)
+	switch r.Verdict.Outcome {
 	case core.Finite:
 		return 0
 	case core.Infinite:
@@ -134,32 +167,4 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	default:
 		return 3
 	}
-}
-
-func decideUCQ(db *logic.Instance, rules *tgds.Set, class tgds.Class) (*core.Verdict, error) {
-	var (
-		q   core.UCQ
-		err error
-	)
-	// The UCQ depends on Σ alone: fetch it from the compilation cache so a
-	// stream of databases against one ontology builds Q_Σ once.
-	switch class {
-	case tgds.ClassSL:
-		q, err = compile.Global().UCQSL(rules)
-	case tgds.ClassL:
-		q, err = compile.Global().UCQL(rules)
-	default:
-		return nil, fmt.Errorf("chtrm: the UCQ method applies to simple linear and linear sets only")
-	}
-	if err != nil {
-		return nil, err
-	}
-	v := &core.Verdict{Class: class, Method: "UCQ evaluation (exact pattern semantics)"}
-	if q.EvalExact(db) {
-		v.Outcome = core.Infinite
-		v.Certificate = "D satisfies " + q.String()
-	} else {
-		v.Outcome = core.Finite
-	}
-	return v, nil
 }

@@ -24,6 +24,14 @@ func TestExperimentsGolden(t *testing.T) {
 			Argv: []string{"-exp", "XP-DEPTH", "-quick"},
 		},
 		{
+			// A JSON experiment-request file must reproduce the flag
+			// invocation byte for byte; SameAs enforces it even under
+			// -update.
+			Name:   "xp-depth-quick-request",
+			Argv:   []string{"-request", clitest.Example("xp-depth.request.json")},
+			SameAs: "xp-depth-quick",
+		},
+		{
 			Name: "xp-ucq-quick-csv",
 			Argv: []string{"-exp", "XP-UCQ", "-quick", "-format", "csv"},
 		},

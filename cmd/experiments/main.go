@@ -7,18 +7,23 @@
 //
 //	experiments [-exp ID | -exp all] [-quick] [-workers N] [-format table|csv]
 //	            [-list] [-stream]
+//	experiments -request req.json [-workers N] [-format table|csv]
 //
-// The -workers flag sizes the streaming job scheduler that
-// scheduler-backed experiments (currently XP-RESTRICTED, the heaviest
-// random-trial sweep) use to run independent points concurrently;
-// timing-sensitive experiments stay sequential on purpose. Scheduler jobs
-// share the process-wide compilation cache (internal/compile). With
-// -stream, per-trial completion events are printed to stderr as jobs
-// finish. Tables are identical for any worker count, cache state, and
-// stream setting.
+// Every experiment runs as a typed ExperimentRequest through the service
+// layer (internal/service) — one job per experiment, awaited in order,
+// so tables render exactly as the direct runner produced them; -request
+// replays a JSON request file naming one experiment. The -workers flag
+// sizes the streaming job scheduler that scheduler-backed experiments
+// (currently XP-RESTRICTED, the heaviest random-trial sweep) use to run
+// independent points concurrently; timing-sensitive experiments stay
+// sequential on purpose. Scheduler jobs share the process-wide
+// compilation cache (internal/compile). With -stream, per-trial
+// completion events are printed to stderr as jobs finish. Tables are
+// identical for any worker count, cache state, and stream setting.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,8 +31,8 @@ import (
 	"os"
 
 	"repro/internal/cli"
-	"repro/internal/compile"
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 func main() {
@@ -44,6 +49,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "run reduced parameter sweeps")
 		format  = fs.String("format", "table", "output format: table or csv")
 		list    = fs.Bool("list", false, "list experiment ids and exit")
+		request = cli.RequestFlag(fs)
 		workers = cli.WorkersFlag(fs)
 		stream  = cli.StreamFlag(fs)
 	)
@@ -61,28 +67,57 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var selected []experiments.Experiment
-	if *exp == "all" {
-		selected = experiments.All()
-	} else {
-		e, err := experiments.Get(*exp)
+	// Assemble the experiment envelopes: one request per selected
+	// experiment (or the request file's single experiment).
+	var reqs []service.ExperimentRequest
+	if *request != "" {
+		f, err := service.LoadRequestFile(*request)
 		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		req, err := f.ExperimentRequest()
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		reqs = append(reqs, req)
+	} else if *exp == "all" {
+		for _, e := range experiments.All() {
+			reqs = append(reqs, service.ExperimentRequest{ID: e.ID, Quick: *quick})
+		}
+	} else {
+		reqs = append(reqs, service.ExperimentRequest{ID: *exp, Quick: *quick})
+	}
+
+	// One service, one job per experiment, awaited in submission order:
+	// experiments stay sequential (several are timing-sensitive), but
+	// every run goes through the public submission path.
+	svc := service.New(service.Config{Workers: 1, QueueBound: 1})
+	defer svc.Close()
+	for i := range reqs {
+		reqs[i].Workers = cli.Workers(*workers)
+		if *quick {
+			// Like -workers and -stream, the flag applies in request
+			// mode too (it can only tighten a sweep, never extend one).
+			reqs[i].Quick = true
+		}
+		if *stream {
+			reqs[i].Stream = stderr
+		}
+		ticket, err := svc.SubmitExperiment(context.Background(), reqs[i])
+		if err != nil {
+			// Unknown experiment ids fail here, synchronously.
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		selected = []experiments.Experiment{e}
-	}
-
-	cfg := experiments.Config{Quick: *quick, Workers: cli.Workers(*workers), Compiler: compile.Global()}
-	if *stream {
-		cfg.Stream = stderr
-	}
-	for _, e := range selected {
-		table, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+		r := ticket.Wait()
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", reqs[i].ID, r.Err)
 			return 1
 		}
+		e, _ := experiments.Get(reqs[i].ID) // cannot fail: SubmitExperiment validated the id
+		table := r.Table
 		table.ID = e.ID
 		table.Title = e.Title
 		table.Claim = e.Claim

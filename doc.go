@@ -48,6 +48,28 @@
 // internal/runtime). Every tool takes -workers and -stream; determinism
 // makes both pure performance/observability knobs.
 //
+// The public entry point is the service layer (internal/service): typed
+// request envelopes — ChaseRequest, DecideRequest, ExperimentRequest —
+// submitted to a Service and answered with typed Results (statistics,
+// derivation handle, classified error taxonomy with wrap-checkable
+// sentinels). The envelopes carry RequestMeta{Tenant, Priority}, which
+// maps onto the scheduler's admission queue: strict priority lanes with
+// round-robin per-tenant fair dequeue, so one tenant's backlog cannot
+// starve another's. The service realizes the paper's fixed-Σ,
+// many-databases access pattern as an API: RegisterOntology(Σ) pins Σ
+// under its canonical compile fingerprint and returns the handle, and
+// SubmitByFingerprint ships only fingerprint + database per job, with
+// the database traveling as internal/wire's portable snapshot/delta
+// encoding. The wire codec's symbol manifest (predicates and terms in
+// first-occurrence order, nulls as factory id + depth, no process-local
+// symbol ids) is the cross-process identity of an instance, exactly as
+// CanonicalKey is its cross-run identity and the compile fingerprint is
+// the ontology's: a fresh process decodes an instance on which every
+// chase run is CanonicalKey- and Stats-identical to the in-process run.
+// All three CLIs route through the service layer (and replay JSON
+// request files via -request), so the goldens exercise the public
+// submission path end to end.
+//
 // Across requests, internal/compile is the ontology compilation cache:
 // every artifact derived from the TGD set Σ alone — the chase engine's
 // per-TGD head and body programs (chase.CompiledSet), the simplification

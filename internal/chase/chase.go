@@ -141,10 +141,14 @@ func (r *Result) MaxDepth() int { return r.Stats.MaxDepth }
 // options and returns the result. The input instance is not modified.
 func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 	e := &engine{
-		sigma:   sigma,
-		opts:    opts,
-		inst:    db.Clone(),
-		nulls:   logic.NewNullFactory(),
+		sigma: sigma,
+		opts:  opts,
+		inst:  db.Clone(),
+		// Number invented nulls after the input's own nulls, so chasing
+		// an instance that already contains nulls (a decoded wire
+		// snapshot, a previous chase result) never reuses a
+		// factory-local id — and hence a Key — an input null carries.
+		nulls:   logic.NewNullFactoryAt(db.MaxNullID() + 1),
 		fired:   logic.NewTupleInterner(),
 		initial: db.Len(),
 	}

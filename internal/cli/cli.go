@@ -17,7 +17,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/logic"
 	"repro/internal/parser"
-	rt "repro/internal/runtime"
+	"repro/internal/service"
 	"repro/internal/tgds"
 )
 
@@ -35,6 +35,14 @@ func StreamFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("stream", false, "stream per-round progress / per-job completion events to stderr")
 }
 
+// RequestFlag registers the conventional -request flag: a JSON request
+// file (service.RequestFile) replaces the input and run flags with a
+// typed request envelope — the same envelope a remote submitter would
+// ship — replayed through the service layer.
+func RequestFlag(fs *flag.FlagSet) *string {
+	return fs.String("request", "", "JSON request file (typed service envelope) replacing input/run flags")
+}
+
 // ProgressPrinter returns a chase.Options.Progress callback that renders
 // each round-boundary snapshot as one diagnostic line on w, prefixed by
 // the tool name.
@@ -45,38 +53,20 @@ func ProgressPrinter(w io.Writer, tool string) func(chase.Stats) {
 	}
 }
 
-// StreamTicket consumes one scheduler ticket: round-level progress events
-// are rendered to w as they arrive (latest-wins — a slow writer only
-// misses intermediate rounds, never the final one), and the job's final
-// result is returned.
-func StreamTicket(w io.Writer, tool string, t *rt.Ticket) rt.JobResult {
-	print := ProgressPrinter(w, tool)
-	progress := t.Progress()
-	for {
-		select {
-		case s, ok := <-progress:
-			if !ok {
-				// The job finished and closed its progress stream; its
-				// result is moments away on Done.
-				progress = nil
-				continue
-			}
+// StreamServiceTicket consumes one service ticket: round-level progress
+// events are rendered to w as they arrive (latest-wins — a slow writer
+// only misses intermediate rounds, never the final one; the stream is
+// closed just before the result is delivered), and the job's typed
+// result is returned. Non-chase tickets have no stream and return
+// immediately on Wait.
+func StreamServiceTicket(w io.Writer, tool string, t *service.Ticket) service.Result {
+	if progress := t.Progress(); progress != nil {
+		print := ProgressPrinter(w, tool)
+		for s := range progress {
 			print(s)
-		case r := <-t.Done():
-			// The stream was closed before the result was delivered, so
-			// draining it here cannot block: render the tail (the final
-			// round's event may still be buffered when both channels were
-			// ready and select picked Done).
-			for progress != nil {
-				if s, ok := <-progress; ok {
-					print(s)
-				} else {
-					progress = nil
-				}
-			}
-			return r
 		}
 	}
+	return t.Wait()
 }
 
 // CacheState renders a run's compilation-cache interaction for the tools'

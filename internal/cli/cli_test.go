@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,9 +10,9 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/chase"
+	"repro/internal/compile"
 	"repro/internal/parser"
-	rt "repro/internal/runtime"
+	"repro/internal/service"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -26,32 +27,36 @@ func TestWorkersResolution(t *testing.T) {
 	}
 }
 
-// StreamTicket's tail guarantee: the final round's progress event is
-// always rendered, even when the result and the buffered last event are
-// ready in the same select (latest-wins may drop intermediate rounds
-// only). Repeated runs shake the select race out.
-func TestStreamTicketRendersFinalRound(t *testing.T) {
+// StreamServiceTicket's tail guarantee: the final round's progress event
+// is always rendered (latest-wins may drop intermediate rounds only —
+// the stream closes after the last event, before the result is
+// delivered). Repeated runs shake the scheduling race out.
+func TestStreamServiceTicketRendersFinalRound(t *testing.T) {
 	db := parser.MustParseDatabase(`e(a, b).`)
 	rules := parser.MustParseRules(`e(X, Y) -> ∃Z e(Y, Z).`)
 	for i := 0; i < 25; i++ {
-		s := rt.NewScheduler(rt.SchedulerConfig{Workers: 1, QueueBound: 1})
-		tk, err := s.SubmitChase("walk", db, rules, chase.Options{MaxRounds: 30}, rt.Budget{}, nil)
+		svc := service.New(service.Config{Workers: 1, QueueBound: 1, Cache: compile.NewCache(0)})
+		tk, err := svc.SubmitChase(context.Background(), service.ChaseRequest{
+			Name:      "walk",
+			Database:  service.Payload{Instance: db},
+			Ontology:  service.OntologyRef{Set: rules},
+			MaxRounds: 30,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		r := StreamTicket(&buf, "tool", tk)
-		s.Close()
+		r := StreamServiceTicket(&buf, "tool", tk)
+		svc.Close()
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
-		res := r.Value.(*chase.Result)
 		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 		if len(lines) == 0 || lines[0] == "" {
 			t.Fatal("no progress lines rendered")
 		}
 		want := fmt.Sprintf("tool: stream round=%d atoms=%d nulls=%d",
-			res.Stats.Rounds, res.Stats.Atoms, res.Stats.Nulls)
+			r.Stats().Rounds, r.Stats().Atoms, r.Stats().Nulls)
 		if last := lines[len(lines)-1]; !strings.HasPrefix(last, want) {
 			t.Fatalf("run %d: last rendered line %q, want the final round %q", i, last, want)
 		}

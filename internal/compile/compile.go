@@ -72,6 +72,15 @@ type Cache struct {
 	fast      sync.Map // *tgds.Set -> fastEntry
 	fastCount atomic.Int64
 
+	// registered pins ontologies by fingerprint for fingerprint-addressed
+	// submission (internal/service): a Registered set is resolvable even
+	// after its derived-artifact entry is LRU-evicted, and the first
+	// registration of a fingerprint wins, so every job served under it
+	// compiles against one stable exact clause form.
+	registered sync.Map // Fingerprint -> *tgds.Set
+	regCount   atomic.Int64
+
+	bytes         atomic.Int64 // approximate bytes held by live entries
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	evictions     atomic.Uint64
@@ -86,10 +95,15 @@ type fastEntry struct {
 
 // Stats is a snapshot of the cache's counters. Hits and Misses count
 // artifact requests (a request for a not-yet-built artifact of a cached
-// ontology counts as a miss).
+// ontology counts as a miss). Bytes is the approximate memory held by
+// live entries' built artifacts (see size.go for the cost model) — the
+// groundwork for the ROADMAP's size-based LRU; Registered counts pinned
+// ontologies.
 type Stats struct {
 	Hits, Misses, Evictions, Invalidations uint64
 	Entries                                int
+	Registered                             int
+	Bytes                                  int64
 }
 
 // NewCache returns a cache bounded to the given number of fingerprint
@@ -111,7 +125,8 @@ func Global() *Cache { return global }
 type entry struct {
 	fp      Fingerprint
 	lastUse atomic.Uint64
-	views   sync.Map // exactKey -> *view
+	bytes   atomic.Int64 // approximate bytes of built artifacts, all views
+	views   sync.Map     // exactKey -> *view
 }
 
 // view holds the artifacts for one exact clause sequence. Every artifact
@@ -161,16 +176,17 @@ func (l *lazy[T]) get(build func() T) (v T, hit bool) {
 	return l.v, hit
 }
 
-// view resolves the view for sigma, inserting entry and view as needed.
+// view resolves the entry and view for sigma, inserting both as needed.
 // The read path is lock-free; only a first-seen fingerprint takes the
 // writer mutex (and may evict).
-func (c *Cache) view(sigma *tgds.Set) *view {
+func (c *Cache) view(sigma *tgds.Set) (*entry, *view) {
 	if fv, ok := c.fast.Load(sigma); ok {
 		fe := fv.(fastEntry)
 		if fe.n == sigma.Len() {
 			if ev, ok := c.entries.Load(fe.fp); ok {
-				ev.(*entry).lastUse.Store(c.clock.Add(1))
-				return fe.v
+				e := ev.(*entry)
+				e.lastUse.Store(c.clock.Add(1))
+				return e, fe.v
 			}
 			// The backing entry was evicted; drop the stale memo and
 			// resolve afresh (reinserting the entry below).
@@ -206,7 +222,17 @@ func (c *Cache) view(sigma *tgds.Set) *view {
 			c.fastCount.Add(1)
 		}
 	}
-	return v
+	return e, v
+}
+
+// addBytes credits an artifact just built in e's views to the entry's
+// and the cache's approximate byte accounting. An in-flight build may
+// land after its entry was evicted or invalidated; the accounting is
+// approximate by contract, and the discrepancy is one artifact's
+// estimate, corrected at the next Reset.
+func (c *Cache) addBytes(e *entry, n int) {
+	e.bytes.Add(int64(n))
+	c.bytes.Add(int64(n))
 }
 
 // clearFast drops every pointer memo (after invalidation, reset, or
@@ -239,6 +265,7 @@ func (c *Cache) evictLocked(keep *entry) {
 		}
 		c.entries.Delete(victim.fp)
 		c.count.Add(-1)
+		c.bytes.Add(-victim.bytes.Load())
 		c.evictions.Add(1)
 		c.clearFast()
 	}
@@ -257,37 +284,49 @@ func (c *Cache) record(hit bool) {
 // building them on first request. It implements chase.Compiler, so a
 // Cache can be attached directly to chase.Options.Compile.
 func (c *Cache) CompiledChase(sigma *tgds.Set) (*chase.CompiledSet, bool) {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	cs, hit := v.chaseSet.get(func() *chase.CompiledSet { return chase.Compile(v.sigma) })
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, compiledChaseBytes(v.sigma))
+	}
 	return cs, hit
 }
 
 // Simplified returns simple(Σ) (simplify.Set), memoized. The returned set
 // is shared: callers must treat it as immutable.
 func (c *Cache) Simplified(sigma *tgds.Set) (*tgds.Set, error) {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	r, hit := v.simplified.get(func() setErr {
 		s, err := simplify.Set(v.sigma)
 		return setErr{set: s, err: err}
 	})
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, setBytes(r.set))
+	}
 	return r.set, r.err
 }
 
 // DepGraph returns the dependency graph dg(Σ), memoized.
 func (c *Cache) DepGraph(sigma *tgds.Set) *depgraph.Graph {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	g, hit := v.graph.get(func() *depgraph.Graph { return depgraph.Build(v.sigma) })
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, graphBytes(g))
+	}
 	return g
 }
 
 // PredGraph returns the predicate graph pg(Σ), memoized.
 func (c *Cache) PredGraph(sigma *tgds.Set) *depgraph.PredGraph {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	g, hit := v.predGraph.get(func() *depgraph.PredGraph { return depgraph.BuildPredGraph(v.sigma) })
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, predGraphBytes(v.sigma))
+	}
 	return g
 }
 
@@ -295,12 +334,15 @@ func (c *Cache) PredGraph(sigma *tgds.Set) *depgraph.PredGraph {
 // memoized. The certificate (nil when acyclic) references clause IDs of
 // the exact form the view was built from.
 func (c *Cache) WeaklyAcyclic(sigma *tgds.Set) (bool, *depgraph.Certificate) {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	w, hit := v.uniformWA.get(func() waVerdict {
 		ok, cert := depgraph.IsWeaklyAcyclic(v.sigma)
 		return waVerdict{ok: ok, cert: cert}
 	})
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, certBytes(w.cert))
+	}
 	return w.ok, w.cert
 }
 
@@ -308,37 +350,47 @@ func (c *Cache) WeaklyAcyclic(sigma *tgds.Set) (bool, *depgraph.Certificate) {
 // 6.6), memoized. The dangerous-predicate analysis it runs on is part of
 // the memoized value, so there is no separate P_Σ accessor.
 func (c *Cache) UCQSL(sigma *tgds.Set) (core.UCQ, error) {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	r, hit := v.ucqSL.get(func() ucqErr {
 		q, err := core.BuildUCQSL(v.sigma)
 		return ucqErr{q: q, err: err}
 	})
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, ucqBytes(r.q))
+	}
 	return r.q, r.err
 }
 
 // UCQL returns the termination UCQ Q_Σ for a linear Σ (Theorem 7.7),
 // memoized.
 func (c *Cache) UCQL(sigma *tgds.Set) (core.UCQ, error) {
-	v := c.view(sigma)
+	e, v := c.view(sigma)
 	r, hit := v.ucqL.get(func() ucqErr {
 		q, err := core.BuildUCQL(v.sigma)
 		return ucqErr{q: q, err: err}
 	})
 	c.record(hit)
+	if !hit {
+		c.addBytes(e, ucqBytes(r.q))
+	}
 	return r.q, r.err
 }
 
 // Invalidate drops the entry for the fingerprint (all views) and reports
-// whether one was present.
+// whether one was present. A Registered ontology stays registered —
+// registration pins source data, while the entry holds derived artifacts
+// that rebuild on the next request.
 func (c *Cache) Invalidate(fp Fingerprint) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries.Load(fp); !ok {
+	ev, ok := c.entries.Load(fp)
+	if !ok {
 		return false
 	}
 	c.entries.Delete(fp)
 	c.count.Add(-1)
+	c.bytes.Add(-ev.(*entry).bytes.Load())
 	c.invalidations.Add(1)
 	c.clearFast()
 	return true
@@ -347,7 +399,7 @@ func (c *Cache) Invalidate(fp Fingerprint) bool {
 // InvalidateSet is Invalidate(Of(sigma)).
 func (c *Cache) InvalidateSet(sigma *tgds.Set) bool { return c.Invalidate(Of(sigma)) }
 
-// Reset empties the cache (counters included).
+// Reset empties the cache — entries, registrations, and counters.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -355,12 +407,49 @@ func (c *Cache) Reset() {
 		c.entries.Delete(k)
 		return true
 	})
+	c.registered.Range(func(k, _ any) bool {
+		c.registered.Delete(k)
+		return true
+	})
 	c.count.Store(0)
+	c.regCount.Store(0)
+	c.bytes.Store(0)
 	c.clearFast()
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
 	c.invalidations.Store(0)
+}
+
+// Register pins the ontology under its canonical fingerprint and returns
+// the fingerprint — the identity a remote caller later submits jobs by
+// (internal/service.SubmitByFingerprint). The first registration of a
+// fingerprint wins: fingerprint-equal but reordered or α-renamed sets
+// resolve to the first-registered exact form, so every job served under
+// one fingerprint shares one compiled view and fleets stay
+// byte-identical. Registration is not subject to the LRU bound; it holds
+// the set alive until Reset.
+func (c *Cache) Register(sigma *tgds.Set) Fingerprint {
+	fp := Of(sigma)
+	// The writer mutex serializes registration against Reset's registry
+	// sweep, so a Register racing a Reset can neither lose its pin
+	// mid-promise nor skew the Registered counter.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, loaded := c.registered.LoadOrStore(fp, sigma); !loaded {
+		c.regCount.Add(1)
+	}
+	return fp
+}
+
+// Registered resolves a fingerprint to its pinned ontology; ok is false
+// for fingerprints never registered (or dropped by Reset).
+func (c *Cache) Registered(fp Fingerprint) (*tgds.Set, bool) {
+	v, ok := c.registered.Load(fp)
+	if !ok {
+		return nil, false
+	}
+	return v.(*tgds.Set), true
 }
 
 // Len returns the number of fingerprint entries.
@@ -374,5 +463,7 @@ func (c *Cache) Stats() Stats {
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
 		Entries:       c.Len(),
+		Registered:    int(c.regCount.Load()),
+		Bytes:         c.bytes.Load(),
 	}
 }

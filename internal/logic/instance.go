@@ -265,6 +265,23 @@ func cloneAtoms(list []*Atom) []*Atom {
 	return out
 }
 
+// MaxNullID returns the largest factory-local null id occurring in the
+// instance, or -1 when it contains no nulls. The chase engine seeds its
+// run's null factory at MaxNullID()+1 so invented nulls never collide —
+// in Key, and hence in CanonicalKey, rendering, and wire re-encoding —
+// with nulls the input instance already carries.
+func (in *Instance) MaxNullID() int {
+	max := -1
+	for _, a := range in.order {
+		for _, t := range a.Args {
+			if n, ok := t.(*Null); ok && n.ID() > max {
+				max = n.ID()
+			}
+		}
+	}
+	return max
+}
+
 // MaxDepth returns the maximum atom depth over the instance (0 when empty
 // or all facts).
 func (in *Instance) MaxDepth() int {

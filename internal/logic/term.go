@@ -111,12 +111,28 @@ type NullFactory struct {
 	tuples   *TupleInterner
 	byTuple  []*Null // tuple id -> null
 	all      []*Null
+	byID     map[int]*Null // NullAt-created nulls, sparse by caller-chosen id
+	base     int           // first id this factory hands out
 	maxDepth int
 }
 
-// NewNullFactory returns an empty factory.
+// NewNullFactory returns an empty factory numbering nulls from 0.
 func NewNullFactory() *NullFactory {
-	return &NullFactory{byKey: make(map[string]*Null)}
+	return NewNullFactoryAt(0)
+}
+
+// NewNullFactoryAt returns an empty factory numbering nulls from base
+// upward. The chase engine passes 1 + the largest null id of its input
+// instance, so the nulls it invents never reuse a factory-local id (and
+// hence a Key) already carried by an input null — chasing an instance
+// that itself contains nulls (a decoded wire snapshot, a previous chase
+// result) keeps old and new nulls distinct under every Key-derived
+// identity (CanonicalKey, rendering, re-encoding).
+func NewNullFactoryAt(base int) *NullFactory {
+	if base < 0 {
+		base = 0
+	}
+	return &NullFactory{byKey: make(map[string]*Null), base: base}
 }
 
 // Intern returns the null registered under key, creating it with the given
@@ -147,9 +163,35 @@ func (f *NullFactory) InternTuple(tuple []int32, depth int) (*Null, bool) {
 }
 
 func (f *NullFactory) newNull(depth int) *Null {
-	n := &Null{id: len(f.all), name: "⊥" + strconv.Itoa(len(f.all)), depth: depth}
+	id := f.base + len(f.all)
+	n := &Null{id: id, name: "⊥" + strconv.Itoa(id), depth: depth}
 	n.gid = registerNull(n)
 	f.all = append(f.all, n)
+	if depth > f.maxDepth {
+		f.maxDepth = depth
+	}
+	return n
+}
+
+// NullAt returns the factory's null with the given factory id, creating
+// it with the given depth if absent. It exists for decoders that must
+// reproduce another factory's id assignment exactly (internal/wire):
+// NullAt-created nulls live in a sparse id map, so an id set with gaps
+// round-trips without inventing nulls the source factory's instance never
+// exposed, and the depth argument is ignored for an id that already
+// exists. A factory used through NullAt must not also use
+// Intern/InternTuple — the two numbering disciplines would collide — and
+// its Len excludes NullAt-created nulls.
+func (f *NullFactory) NullAt(id, depth int) *Null {
+	if n, ok := f.byID[id]; ok {
+		return n
+	}
+	if f.byID == nil {
+		f.byID = make(map[int]*Null)
+	}
+	n := &Null{id: id, name: "⊥" + strconv.Itoa(id), depth: depth}
+	n.gid = registerNull(n)
+	f.byID[id] = n
 	if depth > f.maxDepth {
 		f.maxDepth = depth
 	}

@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// gatedScheduler starts a scheduler whose single worker is parked on a
+// gate job, so every subsequent Submit queues up and the dequeue order
+// becomes observable (and deterministic) once the gate opens.
+func gatedScheduler(t *testing.T, bound int) (s *Scheduler, open func()) {
+	t.Helper()
+	s = NewScheduler(SchedulerConfig{Workers: 1, QueueBound: bound})
+	gate := make(chan struct{})
+	if _, err := s.Submit(Job{Name: "gate", Run: func(context.Context) (any, error) {
+		<-gate
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return s, func() { close(gate) }
+}
+
+// tagJob returns a job that appends its tag to seq (under mu) when run.
+func tagJob(mu *sync.Mutex, seq *[]string, meta JobMeta, tag string) Job {
+	return Job{Name: tag, Meta: meta, Run: func(context.Context) (any, error) {
+		mu.Lock()
+		*seq = append(*seq, tag)
+		mu.Unlock()
+		return nil, nil
+	}}
+}
+
+// TestTenantFairAlternation: two tenants with equal-priority backlogs
+// drain alternately. The whole backlog is queued behind a gate before
+// the single worker pops anything, so the dequeue order is exactly the
+// fair queue's rotation — deterministic, not approximate.
+func TestTenantFairAlternation(t *testing.T) {
+	s, open := gatedScheduler(t, 64)
+	defer s.Close()
+	var (
+		mu  sync.Mutex
+		seq []string
+	)
+	const perTenant = 8
+	// Tenant a's whole backlog is submitted before tenant b's first job —
+	// the worst case for b under plain FIFO.
+	for i := 0; i < perTenant; i++ {
+		if _, err := s.Submit(tagJob(&mu, &seq, JobMeta{Tenant: "a"}, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < perTenant; i++ {
+		if _, err := s.Submit(tagJob(&mu, &seq, JobMeta{Tenant: "b"}, "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open()
+	s.Drain()
+	if len(seq) != 2*perTenant {
+		t.Fatalf("ran %d jobs, want %d", len(seq), 2*perTenant)
+	}
+	for i, tag := range seq {
+		want := "a"
+		if i%2 == 1 {
+			want = "b"
+		}
+		if tag != want {
+			t.Fatalf("dequeue order %v: position %d is %s, want %s (tenants must alternate)", seq, i, tag, want)
+		}
+	}
+}
+
+// TestPriorityLanes: lanes dequeue strictly high before normal before
+// low, FIFO within a lane, regardless of submission interleaving.
+func TestPriorityLanes(t *testing.T) {
+	s, open := gatedScheduler(t, 64)
+	defer s.Close()
+	var (
+		mu  sync.Mutex
+		seq []string
+	)
+	submissions := []struct {
+		prio Priority
+		tag  string
+	}{
+		{PriorityLow, "low1"}, {PriorityNormal, "norm1"}, {PriorityHigh, "high1"},
+		{PriorityNormal, "norm2"}, {PriorityLow, "low2"}, {PriorityHigh, "high2"},
+	}
+	for _, sub := range submissions {
+		if _, err := s.Submit(tagJob(&mu, &seq, JobMeta{Priority: sub.prio}, sub.tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open()
+	s.Drain()
+	want := []string{"high1", "high2", "norm1", "norm2", "low1", "low2"}
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order %v, want %v", seq, want)
+	}
+}
+
+// TestPriorityString pins the lane names (the service layer parses and
+// prints them).
+func TestPriorityString(t *testing.T) {
+	for p, want := range map[Priority]string{
+		PriorityHigh: "high", PriorityNormal: "normal", PriorityLow: "low",
+		Priority(7): "high", Priority(-3): "low",
+	} {
+		if got := p.String(); got != want {
+			t.Fatalf("Priority(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+// TestTenantStarvationBound stresses a noisy tenant flooding the queue
+// while a quiet tenant submits occasionally, under full concurrency
+// (run with -race in CI). The fairness bound under test: between a quiet
+// job's admission and its start, at most one noisy job per competing
+// tenant is dequeued ahead of it, plus whatever was already claimed by
+// the workers — so the number of noisy starts in between is bounded by
+// workers + competing tenants, never by the noisy backlog depth.
+func TestTenantStarvationBound(t *testing.T) {
+	const (
+		workers   = 2
+		bound     = 32
+		quietJobs = 20
+		slack     = workers + 1 // one competing tenant + claimed jobs
+	)
+	s := NewScheduler(SchedulerConfig{Workers: workers, QueueBound: bound})
+	defer s.Close()
+
+	var noisyStarts atomic.Int64
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	flood.Add(1)
+	go func() {
+		defer flood.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, err := s.Submit(Job{Name: "noisy", Meta: JobMeta{Tenant: "noisy"}, Run: func(context.Context) (any, error) {
+				noisyStarts.Add(1)
+				return nil, nil
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < quietJobs; i++ {
+		started := make(chan int64, 1)
+		tk, err := s.Submit(Job{Name: "quiet", Meta: JobMeta{Tenant: "quiet"}, Run: func(context.Context) (any, error) {
+			started <- noisyStarts.Load()
+			return nil, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measured from admission (Submit may legitimately park on the
+		// full queue first — backpressure, not unfairness): once quiet is
+		// queued, the rotation admits at most one noisy dequeue ahead of
+		// it, and each worker may already be holding a claimed noisy job
+		// whose start has not yet been counted.
+		before := noisyStarts.Load()
+		tk.Wait()
+		after := <-started
+		if delta := after - before; delta > slack {
+			t.Fatalf("quiet job %d waited behind %d noisy starts, want <= %d (starvation)", i, delta, slack)
+		}
+	}
+	close(stop)
+	flood.Wait()
+	s.Drain()
+}
+
+// TestFairQueueSingleTenantFIFO: with one (anonymous) tenant at one
+// priority the fair queue degenerates to plain FIFO — the order the
+// batch Pool's determinism rests on.
+func TestFairQueueSingleTenantFIFO(t *testing.T) {
+	s, open := gatedScheduler(t, 64)
+	defer s.Close()
+	var (
+		mu  sync.Mutex
+		seq []string
+	)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := s.Submit(tagJob(&mu, &seq, JobMeta{}, fmt.Sprintf("j%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open()
+	s.Drain()
+	for i, tag := range seq {
+		if want := fmt.Sprintf("j%02d", i); tag != want {
+			t.Fatalf("position %d is %s, want %s (single-tenant order must be FIFO)", i, tag, want)
+		}
+	}
+}
+
+// TestFairQueueCompaction pushes a long steady backlog through one
+// tenant to exercise the consumed-prefix compaction path.
+func TestFairQueueCompaction(t *testing.T) {
+	var q fairQueue
+	mk := func(tenant string, i int) *Ticket {
+		return &Ticket{job: Job{Name: fmt.Sprintf("%s-%d", tenant, i), Meta: JobMeta{Tenant: tenant}}}
+	}
+	next := 0
+	popped := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			q.push(mk("steady", next))
+			next++
+		}
+		for i := 0; i < 4; i++ {
+			tk := q.pop()
+			if want := fmt.Sprintf("steady-%d", popped); tk.job.Name != want {
+				t.Fatalf("pop %d: got %s, want %s", popped, tk.job.Name, want)
+			}
+			popped++
+		}
+	}
+	for q.len() > 0 {
+		tk := q.pop()
+		if want := fmt.Sprintf("steady-%d", popped); tk.job.Name != want {
+			t.Fatalf("drain pop %d: got %s, want %s", popped, tk.job.Name, want)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed", popped, next)
+	}
+}

@@ -24,6 +24,12 @@ type Budget struct {
 // (chase jobs poll it through Options.Interrupt).
 type Job struct {
 	Name string
+	// Meta is the job's admission metadata: the scheduler dequeues
+	// strictly by priority lane and round-robin across tenants within a
+	// lane. The zero value (anonymous tenant, normal priority) keeps the
+	// whole queue one FIFO — the batch Pool and all pre-service callers
+	// rely on exactly that.
+	Meta JobMeta
 	Wall time.Duration // wall-clock budget; 0 = none
 	Run  func(ctx context.Context) (any, error)
 }

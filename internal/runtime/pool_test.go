@@ -41,7 +41,7 @@ func TestPoolAggregatesFailures(t *testing.T) {
 	p.Submit(Job{Name: "ok", Run: func(context.Context) (any, error) { return 1, nil }})
 	p.Submit(Job{Name: "bad", Run: func(context.Context) (any, error) { return nil, boom }})
 	results, stats := p.Run(context.Background())
-	if results[1].Err != boom {
+	if !errors.Is(results[1].Err, boom) {
 		t.Fatalf("err = %v, want boom", results[1].Err)
 	}
 	if stats.Succeeded != 1 || stats.Failed != 1 {

@@ -34,11 +34,51 @@ func (b Backpressure) String() string {
 
 var (
 	// ErrQueueFull is returned by Submit under the Reject policy when the
-	// admission queue is at its bound.
+	// admission queue is at its bound. Callers across the service
+	// boundary receive it wrapped; test with errors.Is, never ==.
 	ErrQueueFull = errors.New("runtime: scheduler admission queue is full")
-	// ErrSchedulerClosed is returned by Submit once Close has been called.
+	// ErrSchedulerClosed is returned by Submit once Close has been
+	// called. Like ErrQueueFull it crosses the service boundary wrapped;
+	// test with errors.Is.
 	ErrSchedulerClosed = errors.New("runtime: scheduler is closed")
 )
+
+// Priority selects a job's admission lane. The scheduler dequeues
+// strictly by lane — every queued high-priority job before any normal
+// one, every normal before any low — and fairly (round-robin by tenant)
+// within a lane. The zero value is PriorityNormal, so callers that never
+// think about lanes land in the default one.
+type Priority int
+
+const (
+	// PriorityNormal is the default lane.
+	PriorityNormal Priority = 0
+	// PriorityHigh jobs are dequeued before all normal and low ones.
+	PriorityHigh Priority = 1
+	// PriorityLow jobs are dequeued only when no higher lane has work.
+	PriorityLow Priority = -1
+)
+
+// String returns the conventional lane name.
+func (p Priority) String() string {
+	switch {
+	case p > PriorityNormal:
+		return "high"
+	case p < PriorityNormal:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+// JobMeta is the admission metadata of one job: which tenant it belongs
+// to (fair dequeue within a lane is per tenant) and which priority lane
+// it enters. The zero value — anonymous tenant, normal priority — makes
+// the whole queue one FIFO, the pre-service behavior.
+type JobMeta struct {
+	Tenant   string
+	Priority Priority
+}
 
 // DefaultQueueBound is the admission-queue capacity selected when
 // SchedulerConfig.QueueBound is not positive.
@@ -66,11 +106,13 @@ type SchedulerConfig struct {
 }
 
 // Scheduler is the streaming multi-job runtime: a long-lived worker set
-// behind a bounded admission queue. Unlike the batch Pool (which is a thin
-// adapter over a Scheduler), a Scheduler accepts Submit from any goroutine
-// at any time, delivers every job's result over its Ticket as the job
-// finishes, supports per-job cancellation, and shuts down gracefully via
-// Drain and Close. A panicking job is contained: it fails its own ticket
+// behind a bounded admission queue with priority lanes and per-tenant
+// fair dequeue (see fairQueue; jobs carry their lane and tenant in
+// JobMeta, and the zero meta reproduces plain FIFO). Unlike the batch
+// Pool (which is a thin adapter over a Scheduler), a Scheduler accepts
+// Submit from any goroutine at any time, delivers every job's result
+// over its Ticket as the job finishes, supports per-job cancellation,
+// and shuts down gracefully via Drain and Close. A panicking job is contained: it fails its own ticket
 // (the panic value wrapped in the result's Err) and the workers keep
 // serving. It is the serving shape of the paper's non-uniform setting:
 // chase/decision requests for (Σ, D) pairs arrive continuously, not as
@@ -81,16 +123,30 @@ type Scheduler struct {
 	policy   Backpressure
 	compiler chase.Compiler
 
-	queue    chan *Ticket
+	// The admission queue is a fairQueue (priority lanes, per-tenant
+	// round-robin) guarded by qmu, metered by two token channels sized to
+	// the bound: slots holds one token per free queue slot (Submit takes
+	// one to admit — blocking on an empty slots channel is exactly the
+	// backpressure wait), and work holds one token per queued ticket
+	// (workers take one, then pop the fair queue for the actual ticket).
+	// Token conservation keeps the queue length at or under the bound —
+	// the backpressure invariant — while the fair queue, not channel
+	// order, decides which ticket a freed worker serves next.
+	slots    chan struct{}
+	work     chan struct{}
 	closing  chan struct{}
 	workerWG sync.WaitGroup
+
+	qmu    sync.Mutex
+	fair   fairQueue
+	queued int
 
 	mu      sync.Mutex
 	idle    sync.Cond // signaled whenever active drops to zero
 	seq     int       // next ticket index
 	active  int       // admitted but not yet completed tickets
 	closed  bool      // Submit rejects; set by Close
-	stopped bool      // queue closed; set once by the first Close to finish
+	stopped bool      // work closed; set once by the first Close to finish
 }
 
 // NewScheduler starts a scheduler: its workers run until Close.
@@ -106,7 +162,11 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		s.bound = DefaultQueueBound
 	}
 	s.idle.L = &s.mu
-	s.queue = make(chan *Ticket, s.bound)
+	s.slots = make(chan struct{}, s.bound)
+	for i := 0; i < s.bound; i++ {
+		s.slots <- struct{}{}
+	}
+	s.work = make(chan struct{}, s.bound)
 	s.workerWG.Add(s.workers)
 	for i := 0; i < s.workers; i++ {
 		go s.worker()
@@ -122,7 +182,11 @@ func (s *Scheduler) QueueBound() int { return s.bound }
 
 // QueueLen returns the number of admitted jobs not yet claimed by a
 // worker. It is never greater than QueueBound.
-func (s *Scheduler) QueueLen() int { return len(s.queue) }
+func (s *Scheduler) QueueLen() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.queued
+}
 
 // Ticket is one submitted job's handle: its result arrives on Done (or
 // through Wait) exactly once, round-level progress events of chase jobs
@@ -141,6 +205,9 @@ type Ticket struct {
 
 // Name returns the job's name.
 func (t *Ticket) Name() string { return t.job.Name }
+
+// Meta returns the job's admission metadata (tenant and priority lane).
+func (t *Ticket) Meta() JobMeta { return t.job.Meta }
 
 // Index returns the ticket's submission sequence number: unique per
 // scheduler and monotone in the order concurrent Submit calls entered the
@@ -209,6 +276,13 @@ func (s *Scheduler) SubmitChase(name string, db *logic.Instance, sigma *tgds.Set
 
 // SubmitChaseIn is SubmitChase with the job's context derived from ctx.
 func (s *Scheduler) SubmitChaseIn(ctx context.Context, name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) (*Ticket, error) {
+	return s.SubmitChaseMeta(ctx, JobMeta{}, name, db, sigma, opts, b, exec)
+}
+
+// SubmitChaseMeta is SubmitChaseIn with the job's admission metadata
+// (tenant, priority lane) set; the service layer routes RequestMeta
+// through it.
+func (s *Scheduler) SubmitChaseMeta(ctx context.Context, meta JobMeta, name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) (*Ticket, error) {
 	if opts.Compile == nil {
 		opts.Compile = s.compiler
 	}
@@ -220,7 +294,9 @@ func (s *Scheduler) SubmitChaseIn(ctx context.Context, name string, db *logic.In
 		}
 		pushLatest(progress, st)
 	}
-	return s.submit(ctx, ChaseJob(name, db, sigma, opts, b, exec), progress)
+	j := ChaseJob(name, db, sigma, opts, b, exec)
+	j.Meta = meta
+	return s.submit(ctx, j, progress)
 }
 
 // pushLatest delivers st to a 1-buffered channel with latest-wins
@@ -263,36 +339,34 @@ func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats
 		done:     make(chan JobResult, 1),
 		progress: progress,
 	}
+	// Prefer admission: the non-blocking slot grab happens under the lock
+	// so the closed-check, index assignment, and admission are one atomic
+	// step, and a job whose context is already done is still accepted
+	// when the queue has room (its worker will skip it and report
+	// Canceled). Workers return slots without the lock, so this cannot
+	// deadlock.
+	select {
+	case <-s.slots:
+		s.seq++
+		s.active++
+		s.mu.Unlock()
+		s.enqueue(t)
+		return t, nil
+	default:
+	}
 	if s.policy == Reject {
-		// The non-blocking enqueue happens under the lock so the
-		// closed-check, index assignment, and admission are one atomic
-		// step; workers receive without the lock, so this cannot deadlock.
-		select {
-		case s.queue <- t:
-			s.seq++
-			s.active++
-			s.mu.Unlock()
-			return t, nil
-		default:
-			s.mu.Unlock()
-			cancel()
-			return nil, ErrQueueFull
-		}
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
 	}
 	s.seq++
 	s.active++
 	s.mu.Unlock()
-	// Prefer admission: when the queue has room, a job is accepted even if
-	// its context is already done (its worker will skip it and report
-	// Canceled). Only a Submit that would actually park waits on the
-	// context and the scheduler's closing signal.
+	// Only a Submit that would actually park waits on the context and the
+	// scheduler's closing signal.
 	select {
-	case s.queue <- t:
-		return t, nil
-	default:
-	}
-	select {
-	case s.queue <- t:
+	case <-s.slots:
+		s.enqueue(t)
 		return t, nil
 	case <-ctx.Done():
 		s.release()
@@ -303,6 +377,17 @@ func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats
 		cancel()
 		return nil, ErrSchedulerClosed
 	}
+}
+
+// enqueue publishes an admitted ticket: into the fair queue, then one
+// work token. The caller has already taken a slot token, so the queue
+// never exceeds the bound and the work send never blocks.
+func (s *Scheduler) enqueue(t *Ticket) {
+	s.qmu.Lock()
+	s.fair.push(t)
+	s.queued++
+	s.qmu.Unlock()
+	s.work <- struct{}{}
 }
 
 // release retires one admitted ticket and wakes Drain/Close waiters when
@@ -318,7 +403,15 @@ func (s *Scheduler) release() {
 
 func (s *Scheduler) worker() {
 	defer s.workerWG.Done()
-	for t := range s.queue {
+	for range s.work {
+		s.qmu.Lock()
+		t := s.fair.pop()
+		s.queued--
+		s.qmu.Unlock()
+		// The ticket has left the queue: return its slot so a parked
+		// Submit can admit. Token conservation (slots held + queued ==
+		// bound) means this send never blocks.
+		s.slots <- struct{}{}
 		s.run(t)
 	}
 }
@@ -399,7 +492,7 @@ func (s *Scheduler) Close() {
 	s.stopped = true
 	s.mu.Unlock()
 	if stop {
-		close(s.queue)
+		close(s.work)
 	}
 	s.workerWG.Wait()
 }

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/tgds"
+)
+
+// RequestFile is the on-disk JSON form of one request envelope — the
+// "chase -request req.json" serving shape: a file a client writes and a
+// tool (or a future listener) replays through the service layer. Exactly
+// the envelope fields that make sense at rest are representable;
+// in-process-only fields (Progress callbacks, executors, live payloads)
+// are not. Relative paths are resolved against the request file's own
+// directory.
+type RequestFile struct {
+	// Kind selects the operation: "chase", "decide", or "experiment".
+	Kind string `json:"kind"`
+	// Tenant and Priority ("high", "normal", "low") fill RequestMeta.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	// Name labels the job (defaults per operation).
+	Name string `json:"name,omitempty"`
+
+	// Program is a combined facts+rules file; alternatively Data and
+	// Rules name separate files. Snapshot (plus Deltas) may replace the
+	// facts with a binary wire-encoded instance.
+	Program  string   `json:"program,omitempty"`
+	Data     string   `json:"data,omitempty"`
+	Rules    string   `json:"rules,omitempty"`
+	Snapshot string   `json:"snapshot,omitempty"`
+	Deltas   []string `json:"deltas,omitempty"`
+
+	// Chase options.
+	Engine    string `json:"engine,omitempty"`
+	MaxAtoms  int    `json:"maxAtoms,omitempty"`
+	MaxRounds int    `json:"maxRounds,omitempty"`
+
+	// Decide options.
+	Method  string `json:"method,omitempty"`
+	AtomCap int    `json:"atomCap,omitempty"`
+
+	// Experiment options.
+	Experiment string `json:"experiment,omitempty"`
+	Quick      bool   `json:"quick,omitempty"`
+
+	dir string // directory of the file, for relative path resolution
+}
+
+// LoadRequestFile parses a request file. Unknown fields are rejected — a
+// misspelled option ("max-atoms" for "maxAtoms") must fail loudly, not
+// silently run without the budget the user asked for.
+func LoadRequestFile(path string) (*RequestFile, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &RequestFile{}
+	dec := json.NewDecoder(bytes.NewReader(src))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.dir = filepath.Dir(path)
+	return f, nil
+}
+
+// resolve makes a referenced path absolute relative to the request file.
+func (f *RequestFile) resolve(path string) string {
+	if path == "" || filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(f.dir, path)
+}
+
+// meta builds the RequestMeta.
+func (f *RequestFile) meta() (RequestMeta, error) {
+	prio, err := ParsePriority(f.Priority)
+	if err != nil {
+		return RequestMeta{}, err
+	}
+	return RequestMeta{Tenant: f.Tenant, Priority: prio}, nil
+}
+
+// inputs loads the file's database payload and rule set.
+func (f *RequestFile) inputs() (Payload, *tgds.Set, error) {
+	var (
+		db    *logic.Instance
+		rules *tgds.Set
+	)
+	switch {
+	case f.Program != "":
+		src, err := os.ReadFile(f.resolve(f.Program))
+		if err != nil {
+			return Payload{}, nil, err
+		}
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			return Payload{}, nil, err
+		}
+		db, rules = prog.Database, prog.Rules
+	case f.Rules != "":
+		src, err := os.ReadFile(f.resolve(f.Rules))
+		if err != nil {
+			return Payload{}, nil, err
+		}
+		if rules, err = parser.ParseRules(string(src)); err != nil {
+			return Payload{}, nil, err
+		}
+		if f.Data != "" {
+			dsrc, err := os.ReadFile(f.resolve(f.Data))
+			if err != nil {
+				return Payload{}, nil, err
+			}
+			if db, err = parser.ParseDatabase(string(dsrc)); err != nil {
+				return Payload{}, nil, err
+			}
+		}
+	default:
+		return Payload{}, nil, fmt.Errorf("request names no program or rules")
+	}
+	if len(f.Deltas) > 0 && f.Snapshot == "" {
+		// Refuse rather than silently running against the parsed facts
+		// with the deltas never opened.
+		return Payload{}, nil, fmt.Errorf("request names deltas but no snapshot to apply them to")
+	}
+	if f.Snapshot != "" {
+		// A wire-encoded instance replaces the parsed facts; the service
+		// decodes it at admission.
+		snap, err := os.ReadFile(f.resolve(f.Snapshot))
+		if err != nil {
+			return Payload{}, nil, err
+		}
+		p := Payload{Snapshot: snap}
+		for _, d := range f.Deltas {
+			delta, err := os.ReadFile(f.resolve(d))
+			if err != nil {
+				return Payload{}, nil, err
+			}
+			p.Deltas = append(p.Deltas, delta)
+		}
+		return p, rules, nil
+	}
+	if db == nil {
+		db = logic.NewInstance()
+	}
+	return Payload{Instance: db}, rules, nil
+}
+
+// ChaseRequest builds the typed envelope of a "chase" request file.
+func (f *RequestFile) ChaseRequest() (ChaseRequest, error) {
+	if f.Kind != "" && f.Kind != "chase" {
+		return ChaseRequest{}, fmt.Errorf("request kind %q, want \"chase\"", f.Kind)
+	}
+	meta, err := f.meta()
+	if err != nil {
+		return ChaseRequest{}, err
+	}
+	variant, err := ParseVariant(f.Engine)
+	if err != nil {
+		return ChaseRequest{}, err
+	}
+	db, rules, err := f.inputs()
+	if err != nil {
+		return ChaseRequest{}, err
+	}
+	return ChaseRequest{
+		Meta:      meta,
+		Name:      f.Name,
+		Database:  db,
+		Ontology:  OntologyRef{Set: rules},
+		Variant:   variant,
+		MaxAtoms:  f.MaxAtoms,
+		MaxRounds: f.MaxRounds,
+	}, nil
+}
+
+// DecideRequest builds the typed envelope of a "decide" request file.
+func (f *RequestFile) DecideRequest() (DecideRequest, error) {
+	if f.Kind != "" && f.Kind != "decide" {
+		return DecideRequest{}, fmt.Errorf("request kind %q, want \"decide\"", f.Kind)
+	}
+	meta, err := f.meta()
+	if err != nil {
+		return DecideRequest{}, err
+	}
+	db, rules, err := f.inputs()
+	if err != nil {
+		return DecideRequest{}, err
+	}
+	return DecideRequest{
+		Meta:     meta,
+		Name:     f.Name,
+		Database: db,
+		Ontology: OntologyRef{Set: rules},
+		Method:   f.Method,
+		AtomCap:  f.AtomCap,
+	}, nil
+}
+
+// ExperimentRequest builds the typed envelope of an "experiment" request
+// file.
+func (f *RequestFile) ExperimentRequest() (ExperimentRequest, error) {
+	if f.Kind != "" && f.Kind != "experiment" {
+		return ExperimentRequest{}, fmt.Errorf("request kind %q, want \"experiment\"", f.Kind)
+	}
+	meta, err := f.meta()
+	if err != nil {
+		return ExperimentRequest{}, err
+	}
+	if f.Experiment == "" {
+		return ExperimentRequest{}, fmt.Errorf("request names no experiment id")
+	}
+	return ExperimentRequest{
+		Meta:  meta,
+		Name:  f.Name,
+		ID:    f.Experiment,
+		Quick: f.Quick,
+	}, nil
+}

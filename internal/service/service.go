@@ -1,0 +1,417 @@
+// Package service is the job-submission surface of the reproduction: the
+// transport-ready layer every front end — the three CLIs today, a
+// network listener or distributed shard tomorrow — routes through.
+// Instead of handing the runtime ad-hoc func() Job closures, callers
+// build typed request envelopes (ChaseRequest, DecideRequest,
+// ExperimentRequest), submit them, and receive typed Results carrying
+// the outcome, its statistics, a derivation handle, and a classified
+// error taxonomy (ErrorKind; sentinels stay wrap-checkable via
+// errors.Is).
+//
+// The paper's non-uniform setting is per-(D, Σ) with Σ fixed across many
+// databases, and the service API is shaped by exactly that access
+// pattern: RegisterOntology(Σ) pins Σ in the compilation cache under its
+// canonical fingerprint (internal/compile) and returns the Handle; a
+// submitter that shares the fingerprint with a worker then ships only
+// fingerprint + database payload per job (SubmitByFingerprint), with the
+// database traveling as a portable wire snapshot (+ per-round deltas,
+// internal/wire) when the caller is not in-process. An unregistered
+// fingerprint fails typed (ErrUnknownOntology): the submitter registers
+// Σ once and resumes. Fleets submitted by fingerprint are byte-identical
+// to fleets submitted with Σ attached — the equivalence tests pin that
+// down at 1 and 4 workers.
+//
+// Admission is the scheduler's bounded queue with priority lanes and
+// per-tenant fair dequeue; RequestMeta{Tenant, Priority} is the
+// envelope-level surface of that queue (internal/runtime.JobMeta
+// underneath).
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/logic"
+	rt "repro/internal/runtime"
+	"repro/internal/tgds"
+)
+
+// Config configures a Service. The zero value serves: GOMAXPROCS
+// workers, the scheduler's default queue bound, blocking backpressure,
+// the process-wide compilation cache.
+type Config struct {
+	// Workers is the number of job workers (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueBound caps the admission queue (<= 0 selects the scheduler
+	// default).
+	QueueBound int
+	// Backpressure selects Submit's behavior at the bound: Block
+	// (default) or Reject, which surfaces as KindOverloaded.
+	Backpressure rt.Backpressure
+	// Cache is the compilation cache ontologies are registered in and
+	// artifacts served from; nil selects compile.Global().
+	Cache *compile.Cache
+}
+
+// Service is the job-submission layer: a facade over one streaming
+// Scheduler plus the ontology registry. Construct with New; a Service is
+// live until Close.
+type Service struct {
+	sched *rt.Scheduler
+	cache *compile.Cache
+}
+
+// New starts a service.
+func New(cfg Config) *Service {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = compile.Global()
+	}
+	return &Service{
+		sched: rt.NewScheduler(rt.SchedulerConfig{
+			Workers:      cfg.Workers,
+			QueueBound:   cfg.QueueBound,
+			Backpressure: cfg.Backpressure,
+			Compiler:     cache,
+		}),
+		cache: cache,
+	}
+}
+
+// Cache returns the service's compilation cache (for stats surfaces).
+func (s *Service) Cache() *compile.Cache { return s.cache }
+
+// Drain blocks until every admitted job has completed.
+func (s *Service) Drain() { s.sched.Drain() }
+
+// Close shuts the service down gracefully: admission stops, admitted
+// jobs run to completion, workers exit.
+func (s *Service) Close() { s.sched.Close() }
+
+// Handle names a registered ontology: the canonical compile fingerprint
+// is the cross-process identity jobs are submitted by.
+type Handle struct {
+	Fingerprint compile.Fingerprint
+}
+
+// RegisterOntology pins Σ in the compilation cache under its canonical
+// fingerprint and returns the handle. Registering a fingerprint-equal
+// (reordered, α-renamed) set again returns the same handle; the first
+// registered exact form serves every job under the fingerprint, which is
+// what keeps fingerprint-addressed fleets byte-identical.
+func (s *Service) RegisterOntology(sigma *tgds.Set) (Handle, error) {
+	if sigma == nil {
+		return Handle{}, wrapErr(OpRegistry, "register", KindBadRequest, fmt.Errorf("nil ontology"))
+	}
+	return Handle{Fingerprint: s.cache.Register(sigma)}, nil
+}
+
+// Ontology resolves a handle's fingerprint back to the registered set.
+func (s *Service) Ontology(fp compile.Fingerprint) (*tgds.Set, error) {
+	sigma, ok := s.cache.Registered(fp)
+	if !ok {
+		return nil, wrapErr(OpRegistry, "resolve", KindUnknownOntology,
+			fmt.Errorf("%w: %s", ErrUnknownOntology, fp))
+	}
+	return sigma, nil
+}
+
+// resolve materializes a request's ontology reference.
+func (s *Service) resolve(op Op, name string, ref OntologyRef) (*tgds.Set, error) {
+	if ref.Set != nil {
+		return ref.Set, nil
+	}
+	if ref.Fingerprint == (compile.Fingerprint{}) {
+		return nil, wrapErr(op, name, KindBadRequest, fmt.Errorf("request names no ontology"))
+	}
+	sigma, ok := s.cache.Registered(ref.Fingerprint)
+	if !ok {
+		return nil, wrapErr(op, name, KindUnknownOntology,
+			fmt.Errorf("%w: %s", ErrUnknownOntology, ref.Fingerprint))
+	}
+	return sigma, nil
+}
+
+// loadPayload materializes a request's database payload with decode
+// failures typed.
+func loadPayload(op Op, name string, p Payload) (*logic.Instance, error) {
+	db, err := p.load()
+	if err != nil {
+		kind := KindBadRequest
+		if p.Instance == nil && p.Snapshot != nil {
+			kind = KindDecode
+		}
+		return nil, wrapErr(op, name, kind, err)
+	}
+	return db, nil
+}
+
+// executor resolves a request's intra-run executor.
+func executor(workers int, own chase.Executor) chase.Executor {
+	if own != nil {
+		return own
+	}
+	if workers > 1 {
+		return rt.NewExecutor(workers)
+	}
+	return nil
+}
+
+func orDefault(name, def string) string {
+	if name == "" {
+		return def
+	}
+	return name
+}
+
+// SubmitChase admits a chase request and returns its ticket. Validation
+// — payload decode included — happens synchronously; the materialization
+// runs on the scheduler's workers.
+func (s *Service) SubmitChase(ctx context.Context, req ChaseRequest) (*Ticket, error) {
+	name := orDefault(req.Name, "chase")
+	sigma, err := s.resolve(OpChase, name, req.Ontology)
+	if err != nil {
+		return nil, err
+	}
+	db, err := loadPayload(OpChase, name, req.Database)
+	if err != nil {
+		return nil, err
+	}
+	opts := chase.Options{
+		Variant:          req.Variant,
+		MaxAtoms:         req.MaxAtoms,
+		MaxRounds:        req.MaxRounds,
+		TrackForest:      req.TrackForest,
+		RecordDerivation: req.RecordDerivation,
+		NoSemiNaive:      req.NoSemiNaive,
+		Progress:         req.Progress,
+		Compile:          s.cache,
+	}
+	t, err := s.sched.SubmitChaseMeta(ctx, req.Meta.jobMeta(), name, db, sigma, opts,
+		rt.Budget{Wall: req.Wall}, executor(req.Workers, req.Executor))
+	if err != nil {
+		return nil, wrapErr(OpChase, name, KindInternal, err)
+	}
+	return &Ticket{op: OpChase, rt: t}, nil
+}
+
+// SubmitByFingerprint is SubmitChase for a remote-shaped submission: the
+// ontology only by registered fingerprint, the database only as payload
+// (wire bytes or in-process instance). It is exactly equivalent to
+// SubmitChase with the resolved set attached.
+func (s *Service) SubmitByFingerprint(ctx context.Context, fp compile.Fingerprint, payload Payload, req ChaseRequest) (*Ticket, error) {
+	req.Ontology = ByFingerprint(fp)
+	req.Database = payload
+	return s.SubmitChase(ctx, req)
+}
+
+// SubmitDecide admits a termination-decision request.
+func (s *Service) SubmitDecide(ctx context.Context, req DecideRequest) (*Ticket, error) {
+	name := orDefault(req.Name, "decide")
+	sigma, err := s.resolve(OpDecide, name, req.Ontology)
+	if err != nil {
+		return nil, err
+	}
+	var db *logic.Instance
+	if req.Method != "uniform" {
+		if db, err = loadPayload(OpDecide, name, req.Database); err != nil {
+			return nil, err
+		}
+	}
+	run, err := s.decideRun(req, db, sigma)
+	if err != nil {
+		return nil, wrapErr(OpDecide, name, KindBadRequest, err)
+	}
+	j := rt.Job{Name: name, Meta: req.Meta.jobMeta(), Wall: req.Wall, Run: run}
+	t, err := s.sched.SubmitIn(ctx, j)
+	if err != nil {
+		return nil, wrapErr(OpDecide, name, KindInternal, err)
+	}
+	return &Ticket{op: OpDecide, rt: t}, nil
+}
+
+// decideRun builds the decision procedure for the request's method; the
+// verdicts are identical to calling internal/core directly (the cache is
+// a pure performance knob).
+func (s *Service) decideRun(req DecideRequest, db *logic.Instance, sigma *tgds.Set) (func(context.Context) (any, error), error) {
+	switch req.Method {
+	case "uniform":
+		return func(context.Context) (any, error) {
+			return core.DecideUniformWith(sigma, s.cache)
+		}, nil
+	case "", "syntactic":
+		return func(context.Context) (any, error) {
+			return core.DecideWith(db, sigma, s.cache)
+		}, nil
+	case "naive":
+		exec := executor(req.Workers, nil)
+		return func(ctx context.Context) (any, error) {
+			return core.DecideNaiveOpt(db, sigma, core.NaiveOptions{
+				AtomCap:  req.AtomCap,
+				Executor: exec,
+				Compiler: s.cache,
+				Progress: req.Progress,
+			})
+		}, nil
+	case "ucq":
+		return func(context.Context) (any, error) {
+			return s.decideUCQ(db, sigma)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want syntactic, naive, ucq, or uniform)", req.Method)
+	}
+}
+
+// decideUCQ evaluates the termination UCQ Q_Σ (Theorems 6.6 / 7.7) with
+// the UCQ built once per ontology through the cache.
+func (s *Service) decideUCQ(db *logic.Instance, sigma *tgds.Set) (*core.Verdict, error) {
+	var (
+		q     core.UCQ
+		err   error
+		class = sigma.Classify()
+	)
+	switch class {
+	case tgds.ClassSL:
+		q, err = s.cache.UCQSL(sigma)
+	case tgds.ClassL:
+		q, err = s.cache.UCQL(sigma)
+	default:
+		return nil, fmt.Errorf("the UCQ method applies to simple linear and linear sets only")
+	}
+	if err != nil {
+		return nil, err
+	}
+	v := &core.Verdict{Class: class, Method: "UCQ evaluation (exact pattern semantics)"}
+	if q.EvalExact(db) {
+		v.Outcome = core.Infinite
+		v.Certificate = "D satisfies " + q.String()
+	} else {
+		v.Outcome = core.Finite
+	}
+	return v, nil
+}
+
+// SubmitExperiment admits an experiment-table request. The experiment id
+// is validated synchronously; the sweep runs on a worker.
+func (s *Service) SubmitExperiment(ctx context.Context, req ExperimentRequest) (*Ticket, error) {
+	name := orDefault(req.Name, req.ID)
+	e, err := experiments.Get(req.ID)
+	if err != nil {
+		return nil, wrapErr(OpExperiment, name, KindBadRequest, err)
+	}
+	cfg := experiments.Config{
+		Quick:    req.Quick,
+		Workers:  req.Workers,
+		Compiler: s.cache,
+		Stream:   req.Stream,
+	}
+	j := rt.Job{Name: name, Meta: req.Meta.jobMeta(), Wall: req.Wall,
+		Run: func(context.Context) (any, error) { return e.Run(cfg) }}
+	t, err := s.sched.SubmitIn(ctx, j)
+	if err != nil {
+		return nil, wrapErr(OpExperiment, name, KindInternal, err)
+	}
+	return &Ticket{op: OpExperiment, rt: t}, nil
+}
+
+// Ticket is one admitted request's handle: Wait (or Done) for the typed
+// Result, Progress for a chase request's round-level statistics stream,
+// Cancel to preempt.
+type Ticket struct {
+	op Op
+	rt *rt.Ticket
+}
+
+// Name returns the job's name.
+func (t *Ticket) Name() string { return t.rt.Name() }
+
+// Op returns the request's operation.
+func (t *Ticket) Op() Op { return t.op }
+
+// Index returns the scheduler's submission sequence number.
+func (t *Ticket) Index() int { return t.rt.Index() }
+
+// Cancel preempts the job (idempotent; the Result still arrives, marked
+// Canceled when preemption won).
+func (t *Ticket) Cancel() { t.rt.Cancel() }
+
+// Progress returns the round-level statistics stream of a chase request
+// (latest-wins, closed when the job finishes) and nil for other
+// operations — a nil channel blocks forever in a select, which is the
+// inert behavior a multiplexed consumer wants.
+func (t *Ticket) Progress() <-chan chase.Stats { return t.rt.Progress() }
+
+// Wait blocks until the job finishes and returns its typed result;
+// repeated calls return the same result.
+func (t *Ticket) Wait() Result { return resultOf(t.op, t.rt.Wait()) }
+
+// Result is the typed response envelope: exactly one of Chase, Verdict,
+// Table is populated on success (by Op), and Err carries the classified
+// *Error on failure. Budget-truncated chase runs are successes with
+// Chase.Terminated == false.
+type Result struct {
+	Op    Op
+	Name  string
+	Index int
+	// Wall is the job's own wall-clock; TimedOut reports the job's wall
+	// budget expiring, Canceled a preemption.
+	Wall     time.Duration
+	TimedOut bool
+	Canceled bool
+
+	Chase   *chase.Result
+	Verdict *core.Verdict
+	Table   *experiments.Table
+	Err     error
+}
+
+// Stats returns the chase statistics of a chase result (zero otherwise).
+func (r Result) Stats() chase.Stats {
+	if r.Chase == nil {
+		return chase.Stats{}
+	}
+	return r.Chase.Stats
+}
+
+// Derivation returns the recorded derivation handle of a chase run that
+// asked for one (RecordDerivation), nil otherwise.
+func (r Result) Derivation() *chase.Derivation {
+	if r.Chase == nil {
+		return nil
+	}
+	return r.Chase.Derivation
+}
+
+// resultOf converts a scheduler JobResult into the typed envelope.
+func resultOf(op Op, jr rt.JobResult) Result {
+	r := Result{
+		Op:       op,
+		Name:     jr.Name,
+		Index:    jr.Index,
+		Wall:     jr.Wall,
+		TimedOut: jr.TimedOut,
+		Canceled: jr.Canceled,
+	}
+	if jr.Err != nil {
+		kind := KindInternal
+		if jr.Canceled {
+			kind = KindCanceled
+		}
+		r.Err = wrapErr(op, jr.Name, kind, jr.Err)
+		return r
+	}
+	switch v := jr.Value.(type) {
+	case *chase.Result:
+		r.Chase = v
+	case *core.Verdict:
+		r.Verdict = v
+	case *experiments.Table:
+		r.Table = v
+	}
+	return r
+}

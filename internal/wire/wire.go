@@ -1,0 +1,515 @@
+// Package wire is the portable binary codec for instances: snapshots of a
+// whole atom set and per-round deltas (the atoms appended since a known
+// prefix), encoded so that a fresh process — with its own empty symbol
+// table — decodes an instance that is byte-identical to the original
+// under every cross-process identity the system has: CanonicalKey,
+// insertion order (and hence semi-naive delta behavior and Seq), and null
+// depths. It is the database half of the ROADMAP's distributed-sharding
+// wire format; the ontology half is internal/compile's canonical
+// fingerprint, and internal/service composes the two into
+// fingerprint-addressed job submission.
+//
+// # Identity and the symbol manifest
+//
+// The process-local data plane addresses terms and predicates by dense
+// int32 ids handed out in interning order, so ids are meaningless outside
+// the process that assigned them. An encoding therefore never contains a
+// symbol-table id. Instead, every snapshot and delta carries a symbol
+// manifest — the distinct predicates and terms of its atoms, listed in
+// order of first occurrence in the encoded atom sequence — and the atom
+// section refers to symbols by manifest index. Terms appear in the
+// manifest under their portable identity: constants and fresh terms by
+// value, nulls by (factory id, depth) — the factory-local id is exactly
+// what Term.Key and hence Instance.CanonicalKey expose — and foreign term
+// kinds by their Key and rendering, carried opaquely. First-occurrence
+// order makes the encoding a pure function of the instance's ordered atom
+// sequence: two equal instances encode byte-identically no matter which
+// process, symbol table, or null factory produced them, and
+// encode→decode→encode is a fixpoint (FuzzWireRoundTrip pins both down).
+//
+// # Deltas
+//
+// A delta is a snapshot of a suffix: the atoms with insertion sequence >=
+// some base length, plus that base length in the header. Deltas are
+// self-contained (their manifest re-lists every symbol they touch), but
+// null identity must be resolved against the nulls of the base snapshot
+// and earlier deltas, so decoding a snapshot+delta stream goes through
+// one Decoder, which owns the stream's NullFactory. Applying a delta
+// whose base length does not match the decoded instance fails with
+// ErrDeltaMismatch rather than silently misaligning the rounds.
+//
+// # Wire format
+//
+// All integers are unsigned varints (encoding/binary), except fresh-term
+// values, which are zigzag-signed; strings are length-prefixed. Layout:
+//
+//	magic "CW", kind byte ('S' snapshot, 'D' delta), version varint (1)
+//	delta only: base varint (required instance length before applying)
+//	predicate count; per predicate: name, arity
+//	term count; per term: tag byte + payload
+//	    'c' constant: value
+//	    'f' fresh:    zigzag varint
+//	    'n' null:     factory id varint, depth varint
+//	    'v' variable: name (instances are normally ground; totality)
+//	    'o' foreign:  identity key, rendering
+//	atom count; per atom: predicate index, then arity term indexes
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+)
+
+// Version is the codec version this package encodes (and the only one it
+// decodes).
+const Version = 1
+
+var (
+	// ErrCorrupt reports an encoding this package cannot decode: bad
+	// magic, unknown version, truncated sections, out-of-range indexes,
+	// or a manifest record that violates the codec's invariants. It wraps
+	// the specific defect.
+	ErrCorrupt = errors.New("wire: corrupt encoding")
+	// ErrDeltaMismatch reports a delta whose recorded base length does
+	// not match the instance it is being applied to.
+	ErrDeltaMismatch = errors.New("wire: delta base does not match the decoded instance")
+)
+
+const (
+	kindSnapshot = 'S'
+	kindDelta    = 'D'
+)
+
+// opaque carries a foreign term kind across the wire: a term defined
+// outside internal/logic survives encoding as its identity key plus its
+// rendering, which is all the data plane ever derives from it. Decoded
+// opaque terms intern through the symbol table's foreign-key path, so
+// they compare equal (by id and by Key) to the original term kind.
+type opaque struct{ key, str string }
+
+// Key implements logic.Term.
+func (o opaque) Key() string { return o.key }
+
+func (o opaque) String() string { return o.str }
+
+// builtinKeyPrefix reports whether the key belongs to one of logic's
+// built-in term kinds. Encoders never emit such keys under the foreign
+// tag; decoders reject them, because interning them as foreign would
+// create a second symbol id for an existing identity key.
+func builtinKeyPrefix(key string) bool {
+	if len(key) < 2 || key[1] != 0 {
+		return false
+	}
+	switch key[0] {
+	case 'c', 'n', 'v', 'f':
+		return true
+	}
+	return false
+}
+
+// EncodeSnapshot encodes the full instance. The result is a pure function
+// of the instance's ordered atom sequence (no process-local state leaks
+// in), so equal instances encode byte-identically across processes.
+func EncodeSnapshot(in *logic.Instance) []byte {
+	e := &encoder{buf: make([]byte, 0, 64+16*in.Len())}
+	e.header(kindSnapshot)
+	e.atoms(in.Atoms())
+	return e.buf
+}
+
+// EncodeDelta encodes the atoms with insertion sequence >= from — one
+// semi-naive round's delta when from is the previous round's instance
+// length — against a base of length from.
+func EncodeDelta(in *logic.Instance, from int) []byte {
+	if from < 0 {
+		from = 0
+	}
+	all := in.Atoms()
+	if from > len(all) {
+		from = len(all)
+	}
+	e := &encoder{buf: make([]byte, 0, 64+16*(len(all)-from))}
+	e.header(kindDelta)
+	e.uint(uint64(from))
+	e.atoms(all[from:])
+	return e.buf
+}
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) header(kind byte) {
+	e.buf = append(e.buf, 'C', 'W', kind)
+	e.uint(Version)
+}
+
+func (e *encoder) uint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) str(s string) {
+	e.uint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// atoms writes the symbol manifest (first-occurrence order) followed by
+// the atom section.
+func (e *encoder) atoms(atoms []*logic.Atom) {
+	var (
+		preds     []logic.Predicate
+		predIdx   = make(map[logic.Predicate]int)
+		terms     []logic.Term
+		termIdx   = make(map[int32]int) // interned id -> manifest index
+		atomPreds = make([]int, len(atoms))
+		atomTerms = make([][]int, len(atoms))
+	)
+	for ai, a := range atoms {
+		pi, ok := predIdx[a.Pred]
+		if !ok {
+			pi = len(preds)
+			predIdx[a.Pred] = pi
+			preds = append(preds, a.Pred)
+		}
+		atomPreds[ai] = pi
+		idx := make([]int, len(a.Args))
+		for i := range a.Args {
+			id := a.ArgID(i)
+			ti, ok := termIdx[id]
+			if !ok {
+				ti = len(terms)
+				termIdx[id] = ti
+				terms = append(terms, a.Args[i])
+			}
+			idx[i] = ti
+		}
+		atomTerms[ai] = idx
+	}
+	e.uint(uint64(len(preds)))
+	for _, p := range preds {
+		e.str(p.Name)
+		e.uint(uint64(p.Arity))
+	}
+	e.uint(uint64(len(terms)))
+	for _, t := range terms {
+		switch x := t.(type) {
+		case logic.Constant:
+			e.buf = append(e.buf, 'c')
+			e.str(string(x))
+		case logic.Fresh:
+			e.buf = append(e.buf, 'f')
+			e.buf = binary.AppendVarint(e.buf, int64(x))
+		case *logic.Null:
+			e.buf = append(e.buf, 'n')
+			e.uint(uint64(x.ID()))
+			e.uint(uint64(x.Depth()))
+		case logic.Variable:
+			// Instances are normally ground, but the codec is total: a
+			// variable must not fall into the foreign branch, whose
+			// built-in "v\x00" key the decoder categorically rejects.
+			e.buf = append(e.buf, 'v')
+			e.str(string(x))
+		default:
+			e.buf = append(e.buf, 'o')
+			e.str(t.Key())
+			e.str(t.String())
+		}
+	}
+	e.uint(uint64(len(atoms)))
+	for ai := range atoms {
+		e.uint(uint64(atomPreds[ai]))
+		for _, ti := range atomTerms[ai] {
+			e.uint(uint64(ti))
+		}
+	}
+}
+
+// Decoder decodes one snapshot and any number of subsequent deltas into a
+// single instance, resolving null identity across the whole stream
+// through one factory. A Decoder is single-use and not safe for
+// concurrent use.
+type Decoder struct {
+	nulls *logic.NullFactory
+	inst  *logic.Instance
+}
+
+// NewDecoder returns a decoder for one snapshot+deltas stream.
+func NewDecoder() *Decoder {
+	return &Decoder{nulls: logic.NewNullFactory()}
+}
+
+// Instance returns the instance decoded so far (nil before Snapshot).
+func (d *Decoder) Instance() *logic.Instance { return d.inst }
+
+// Snapshot decodes a snapshot encoding into a fresh instance. It must be
+// the stream's first call and may be made only once.
+func (d *Decoder) Snapshot(data []byte) (*logic.Instance, error) {
+	if d.inst != nil {
+		return nil, fmt.Errorf("%w: decoder already holds a snapshot", ErrCorrupt)
+	}
+	r := &reader{data: data}
+	if err := r.header(kindSnapshot); err != nil {
+		return nil, err
+	}
+	in := logic.NewInstance()
+	if err := d.section(r, in); err != nil {
+		return nil, err
+	}
+	d.inst = in
+	return in, nil
+}
+
+// Apply decodes a delta encoding and appends its atoms to the decoded
+// instance, returning the number of atoms added. The delta's recorded
+// base length must equal the instance's current length.
+func (d *Decoder) Apply(data []byte) (int, error) {
+	if d.inst == nil {
+		return 0, fmt.Errorf("%w: delta applied before any snapshot", ErrCorrupt)
+	}
+	r := &reader{data: data}
+	if err := r.header(kindDelta); err != nil {
+		return 0, err
+	}
+	base, err := r.count("delta base")
+	if err != nil {
+		return 0, err
+	}
+	if base != d.inst.Len() {
+		return 0, fmt.Errorf("%w: delta base %d, instance holds %d atoms", ErrDeltaMismatch, base, d.inst.Len())
+	}
+	before := d.inst.Len()
+	if err := d.section(r, d.inst); err != nil {
+		return 0, err
+	}
+	return d.inst.Len() - before, nil
+}
+
+// DecodeSnapshot decodes a self-contained snapshot with a private
+// decoder; use a Decoder directly when deltas will follow.
+func DecodeSnapshot(data []byte) (*logic.Instance, error) {
+	return NewDecoder().Snapshot(data)
+}
+
+// termRec is one parsed (not yet materialized) manifest term record.
+type termRec struct {
+	tag       byte
+	str, str2 string
+	a, b      int
+}
+
+// section decodes one manifest+atoms section into in. Decoding is
+// parse-then-materialize: the whole encoding is parsed and validated —
+// index ranges, tags, trailing bytes — before a single null is interned
+// or atom added, so corrupt input leaves both the stream's instance and
+// its null factory exactly as they were (Apply's atomicity rests on
+// this).
+func (d *Decoder) section(r *reader, in *logic.Instance) error {
+	npreds, err := r.records("predicate count")
+	if err != nil {
+		return err
+	}
+	preds := make([]logic.Predicate, npreds)
+	for i := range preds {
+		name, err := r.str("predicate name")
+		if err != nil {
+			return err
+		}
+		arity, err := r.count("predicate arity")
+		if err != nil {
+			return err
+		}
+		preds[i] = logic.Predicate{Name: name, Arity: arity}
+	}
+	nterms, err := r.records("term count")
+	if err != nil {
+		return err
+	}
+	recs := make([]termRec, nterms)
+	for i := range recs {
+		tag, err := r.byte("term tag")
+		if err != nil {
+			return err
+		}
+		rec := termRec{tag: tag}
+		switch tag {
+		case 'c':
+			if rec.str, err = r.str("constant"); err != nil {
+				return err
+			}
+		case 'f':
+			if rec.a, err = r.int("fresh value"); err != nil {
+				return err
+			}
+		case 'n':
+			if rec.a, err = r.count("null id"); err != nil {
+				return err
+			}
+			if rec.b, err = r.count("null depth"); err != nil {
+				return err
+			}
+		case 'v':
+			if rec.str, err = r.str("variable"); err != nil {
+				return err
+			}
+		case 'o':
+			if rec.str, err = r.str("foreign key"); err != nil {
+				return err
+			}
+			if rec.str2, err = r.str("foreign rendering"); err != nil {
+				return err
+			}
+			if builtinKeyPrefix(rec.str) {
+				return fmt.Errorf("%w: foreign term with built-in identity key %q", ErrCorrupt, rec.str)
+			}
+		default:
+			return fmt.Errorf("%w: unknown term tag %q", ErrCorrupt, tag)
+		}
+		recs[i] = rec
+	}
+	natoms, err := r.records("atom count")
+	if err != nil {
+		return err
+	}
+	atomPreds := make([]int, natoms)
+	atomArgs := make([][]int, natoms)
+	for ai := 0; ai < natoms; ai++ {
+		pi, err := r.count("atom predicate index")
+		if err != nil {
+			return err
+		}
+		if pi >= len(preds) {
+			return fmt.Errorf("%w: atom %d references predicate %d of %d", ErrCorrupt, ai, pi, len(preds))
+		}
+		p := preds[pi]
+		if p.Arity > len(r.data)-r.pos {
+			// Every argument costs at least one byte; reject before the
+			// argument slice is even allocated.
+			return fmt.Errorf("%w: truncated atom %d", ErrCorrupt, ai)
+		}
+		idx := make([]int, p.Arity)
+		for i := range idx {
+			ti, err := r.count("atom term index")
+			if err != nil {
+				return err
+			}
+			if ti >= len(recs) {
+				return fmt.Errorf("%w: atom %d references term %d of %d", ErrCorrupt, ai, ti, len(recs))
+			}
+			idx[i] = ti
+		}
+		atomPreds[ai] = pi
+		atomArgs[ai] = idx
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.data)-r.pos)
+	}
+	// Fully validated: materialize. Nothing below can fail.
+	terms := make([]logic.Term, len(recs))
+	for i, rec := range recs {
+		switch rec.tag {
+		case 'c':
+			terms[i] = logic.Constant(rec.str)
+		case 'f':
+			terms[i] = logic.Fresh(rec.a)
+		case 'n':
+			terms[i] = d.nulls.NullAt(rec.a, rec.b)
+		case 'v':
+			terms[i] = logic.Variable(rec.str)
+		default:
+			terms[i] = opaque{key: rec.str, str: rec.str2}
+		}
+	}
+	for ai := range atomPreds {
+		args := make([]logic.Term, len(atomArgs[ai]))
+		for i, ti := range atomArgs[ai] {
+			args[i] = terms[ti]
+		}
+		in.Add(logic.NewAtom(preds[atomPreds[ai]], args...))
+	}
+	return nil
+}
+
+// reader is a bounds-checked cursor over one encoding.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) header(kind byte) error {
+	if len(r.data) < 3 || r.data[0] != 'C' || r.data[1] != 'W' {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if r.data[2] != kind {
+		return fmt.Errorf("%w: kind %q, want %q", ErrCorrupt, r.data[2], kind)
+	}
+	r.pos = 3
+	v, err := r.count("version")
+	if err != nil {
+		return err
+	}
+	if v != Version {
+		return fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, Version)
+	}
+	return nil
+}
+
+func (r *reader) byte(what string) (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// count reads an unsigned varint constrained to a sane int range; every
+// count, index, and id in the format goes through it, which bounds what
+// hostile input can make the decoder allocate.
+func (r *reader) count(what string) (int, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: bad %s varint", ErrCorrupt, what)
+	}
+	r.pos += n
+	return int(v), nil
+}
+
+// records is count for section sizes: every record costs at least one
+// byte, so a count larger than the remaining input is corrupt — rejected
+// here, before any count-sized allocation happens.
+func (r *reader) records(what string) (int, error) {
+	n, err := r.count(what)
+	if err != nil {
+		return 0, err
+	}
+	if n > len(r.data)-r.pos {
+		return 0, fmt.Errorf("%w: %s %d exceeds remaining input", ErrCorrupt, what, n)
+	}
+	return n, nil
+}
+
+func (r *reader) int(what string) (int, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 || v > math.MaxInt32 || v < math.MinInt32 {
+		return 0, fmt.Errorf("%w: bad %s varint", ErrCorrupt, what)
+	}
+	r.pos += n
+	return int(v), nil
+}
+
+func (r *reader) str(what string) (string, error) {
+	n, err := r.count(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if r.pos+n > len(r.data) {
+		return "", fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
