@@ -33,8 +33,18 @@ import (
 func requireMultiCore(b *testing.B) {
 	b.Helper()
 	if n := goruntime.NumCPU(); n < 2 {
-		b.Skipf("parallel benchmark skipped: single-core runner (NumCPU=%d) reports misleading numbers", n)
+		b.Skipf("parallel benchmark skipped: single-core runner (NumCPU=%d, GOMAXPROCS=%d) reports misleading numbers",
+			n, goruntime.GOMAXPROCS(0))
 	}
+}
+
+// reportGOMAXPROCS stamps the runner's parallelism onto the benchmark
+// line as a gomaxprocs metric, so numbers copied into the BENCH_*.json
+// environment_note fields carry their provenance automatically — a
+// single-CPU container's output can never be misread as a multi-core
+// result.
+func reportGOMAXPROCS(b *testing.B) {
+	b.ReportMetric(float64(goruntime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 func benchExperiment(b *testing.B, id string) {
@@ -124,6 +134,7 @@ func BenchmarkChaseGuardedParallel(b *testing.B) {
 			b.Fatal("unexpected budget hit")
 		}
 	}
+	reportGOMAXPROCS(b)
 }
 
 // BenchmarkTuringChaseParallel is BenchmarkTuringChase with a 4-worker
@@ -141,6 +152,7 @@ func BenchmarkTuringChaseParallel(b *testing.B) {
 			b.Fatal("halting machine must terminate")
 		}
 	}
+	reportGOMAXPROCS(b)
 }
 
 // BenchmarkPoolThroughput measures the multi-job scheduler on a fleet of
@@ -168,6 +180,7 @@ func BenchmarkPoolThroughput(b *testing.B) {
 					b.Fatal("unexpected budget hit")
 				}
 			}
+			reportGOMAXPROCS(b)
 		})
 	}
 }
@@ -205,6 +218,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			s.Close()
 		}
 		b.ReportMetric(float64(jobs), "jobs/op")
+		reportGOMAXPROCS(b)
 	}
 	for _, bound := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("bound-%d/cold", bound), func(b *testing.B) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/cli/clitest"
@@ -54,4 +57,37 @@ func TestChaseGolden(t *testing.T) {
 			Argv: []string{"-program", clitest.Example("linear.dlgp"), "-format", "dlgp"},
 		},
 	})
+}
+
+// The profile flags must produce non-empty pprof files without touching
+// stdout (golden coverage) or the exit code.
+func TestChaseProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-program", clitest.Example("quickstart.dlgp"), "-quiet",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path is CLI misuse, diagnosed before running.
+	code = run([]string{
+		"-program", clitest.Example("quickstart.dlgp"), "-quiet",
+		"-cpuprofile", filepath.Join(dir, "missing", "cpu.pprof"),
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("unwritable cpu profile: exit %d, want 2", code)
+	}
 }

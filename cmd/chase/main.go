@@ -66,12 +66,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers   = cli.WorkersFlag(fs)
 		stream    = cli.StreamFlag(fs)
 	)
+	cpuprofile, memprofile := cli.ProfileFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a successful invocation, not CLI misuse
 		}
 		return 2
 	}
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "chase:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+		}
+	}()
 
 	// Assemble the request envelope: from the request file (which then
 	// owns inputs, engine, and budgets) or from the input flags.
@@ -160,9 +171,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		s := res.Stats
 		cs := compile.Global().Stats()
 		fmt.Fprintf(stderr,
-			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v cache=%s cache-entries=%d cache-bytes=%d\n",
+			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v cache=%s cache-entries=%d cache-bytes=%d arena-blocks=%d scratch-reuses=%d\n",
 			req.Variant, s.Atoms, s.InitialAtoms, s.Rounds, s.TriggersFired, s.TriggersConsidered,
-			s.Nulls, s.MaxDepth, res.Terminated, cli.CacheState(s), cs.Entries, cs.Bytes)
+			s.Nulls, s.MaxDepth, res.Terminated, cli.CacheState(s), cs.Entries, cs.Bytes,
+			s.ArenaBlocks, svc.ScratchReuses())
 	}
 	if !res.Terminated {
 		return 1

@@ -53,12 +53,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers = cli.WorkersFlag(fs)
 		stream  = cli.StreamFlag(fs)
 	)
+	cpuprofile, memprofile := cli.ProfileFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a successful invocation, not CLI misuse
 		}
 		return 2
 	}
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -91,6 +91,13 @@ type Options struct {
 	// scheduler (internal/runtime's Scheduler) decouples consumers through
 	// per-job latest-wins channels so a slow consumer throttles nothing.
 	Progress func(Stats)
+	// Scratch, when non-nil, supplies the run's reusable allocation state
+	// (matcher buffers, atom arena, trigger slabs, fired-key interner) so
+	// long-lived callers amortize it across jobs; see Scratch. A run
+	// without one allocates a private scratch. A Scratch must never be
+	// shared by two concurrent runs — the runtime Scheduler owns one per
+	// worker goroutine. Results are byte-identical with and without it.
+	Scratch *Scratch
 	// Compile, when non-nil, supplies the run's compiled per-TGD programs
 	// (head programs and per-seed body programs) instead of compiling them
 	// inside the run; internal/compile.Cache implements it as a
@@ -118,6 +125,13 @@ type Stats struct {
 	// miss run.
 	CompileHits   int
 	CompileMisses int
+	// ArenaBlocks counts the heap blocks the run's atom arena allocated —
+	// the instrumentation for the slab-allocated hot path (chase -stats
+	// surfaces it). Like every other field it is deterministic: the arena
+	// serves only the single-goroutine apply phase, whose atom sequence
+	// the byte-identity contract fixes across worker counts, cache
+	// states, and scratch reuse (a reset arena starts block-free).
+	ArenaBlocks int
 }
 
 // Result is the outcome of a chase run.
@@ -140,6 +154,11 @@ func (r *Result) MaxDepth() int { return r.Stats.MaxDepth }
 // Run chases the database db with the TGD set sigma under the given
 // options and returns the result. The input instance is not modified.
 func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+	sc.begin()
 	e := &engine{
 		sigma: sigma,
 		opts:  opts,
@@ -149,7 +168,7 @@ func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 		// snapshot, a previous chase result) never reuses a
 		// factory-local id — and hence a Key — an input null carries.
 		nulls:   logic.NewNullFactoryAt(db.MaxNullID() + 1),
-		fired:   logic.NewTupleInterner(),
+		sc:      sc,
 		initial: db.Len(),
 	}
 	if opts.Compile != nil {
@@ -211,27 +230,28 @@ type engine struct {
 	opts  Options
 	inst  *logic.Instance
 	nulls *logic.NullFactory
-	// fired interns the integer trigger keys (TGD id, key-variable image
-	// ids); a trigger fires at most once per interned tuple.
-	fired      *logic.TupleInterner
-	keyBuf     []int32       // reusable tuple-building buffer
-	matcher    logic.Matcher // reusable compiled-body buffers
-	heads      [][]headAtom  // per-TGD compiled head programs, by TGD id
-	compiled   *CompiledSet  // shared precompiled programs (nil: compile lazily)
-	nullBuf    []*logic.Null // reusable per-trigger null scratch
+	// sc holds the run's reusable allocation state — the fired-trigger
+	// interner, matcher, atom arena, trigger slabs, and work buffers —
+	// either private to this run or pooled by the caller (Options.Scratch).
+	sc         *Scratch
+	heads      [][]headAtom // per-TGD compiled head programs, by TGD id
+	compiled   *CompiledSet // shared precompiled programs (nil: compile lazily)
 	forest     *Forest
 	derivation *Derivation
 	initial    int
-	workers    []collectWorker // parallel collection: per-worker-slot state
-	taskBuf    []collectTask   // parallel collection: reusable task list
 
 	rounds        int
 	considered    int
 	firedCount    int
 	compileHits   int
 	compileMisses int
-	stop          bool        // set once Options.Interrupt fires
-	parStop       atomic.Bool // interrupt verdict shared with collect workers
+	// prevSpan and prevCands feed the adaptive shard sizing: the previous
+	// parallel round's delta span and candidate count (both deterministic),
+	// from which collectParallel derives the next round's window width.
+	prevSpan  int
+	prevCands int
+	stop      bool        // set once Options.Interrupt fires
+	parStop   atomic.Bool // interrupt verdict shared with collect workers
 }
 
 // interrupted polls Options.Interrupt and latches the result.
@@ -253,6 +273,7 @@ func (e *engine) stats() Stats {
 		MaxDepth:           e.nulls.MaxDepth(),
 		CompileHits:        e.compileHits,
 		CompileMisses:      e.compileMisses,
+		ArenaBlocks:        e.sc.arena.Blocks(),
 	}
 }
 
@@ -278,6 +299,12 @@ func (e *engine) run() bool {
 		}
 		deltaStart = e.inst.Len()
 		added := e.apply(pending)
+		// The round's trigger tuples (fire keys, frontier images) are dead
+		// once applied: recycle their slab blocks for the next round.
+		e.sc.slabs.rewind()
+		for i := range e.sc.workers {
+			e.sc.workers[i].slabs.rewind()
+		}
 		if e.opts.Progress != nil {
 			e.opts.Progress(e.stats())
 		}
@@ -299,14 +326,18 @@ func (e *engine) run() bool {
 // image ids), so duplicate triggers are rejected without materializing a
 // substitution or building a string key.
 func (e *engine) collect(deltaStart int) []pendingTrigger {
-	var pending []pendingTrigger
 	ds := deltaStart
 	if e.rounds == 1 || e.opts.NoSemiNaive {
 		ds = -1
 	}
-	if ds >= 0 && e.opts.Executor != nil && e.opts.Executor.Workers() > 1 {
+	if e.opts.Executor != nil && e.opts.Executor.Workers() > 1 && !e.opts.NoSemiNaive {
+		// Semi-naive rounds shard the (TGD, seed, delta window) task
+		// space; round 1 (ds < 0) shards the full enumeration on the
+		// join-start atom's windows. NoSemiNaive stays sequential: the
+		// ablation re-enumerates everything each round by design.
 		return e.collectParallel(ds)
 	}
+	pending := e.sc.pending[:0]
 	for ti, t := range e.sigma.TGDs {
 		ti, t := ti, t
 		// Fire at most once per frontier assignment for the semi-oblivious
@@ -320,41 +351,46 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 			if e.opts.Interrupt != nil && e.considered&1023 == 0 && e.interrupted() {
 				return false // bound how far a cancelled run overshoots
 			}
-			e.keyBuf = append(e.keyBuf[:0], int32(ti))
-			e.keyBuf = m.AppendImageIDs(e.keyBuf, fireVars)
-			if _, fresh := e.fired.Intern(e.keyBuf); !fresh {
+			e.sc.keyBuf = append(e.sc.keyBuf[:0], int32(ti))
+			e.sc.keyBuf = m.AppendImageIDs(e.sc.keyBuf, fireVars)
+			if _, fresh := e.sc.fired.Intern(e.sc.keyBuf); !fresh {
 				return true
 			}
-			key := append([]int32(nil), e.keyBuf...)
-			pending = append(pending, e.buildPending(t, ti, key, m))
+			key := e.sc.slabs.keys.Copy(e.sc.keyBuf)
+			pending = append(pending, e.buildPending(t, ti, key, m, &e.sc.slabs))
 			return true
 		}
 		if ds >= 0 && e.compiled != nil {
 			// Shared precompiled per-seed body programs; enumeration order
 			// is identical to the fresh compile (logic.BodyProgram).
-			e.matcher.MatchAllProgs(e.compiled.bodies[ti], e.inst, ds, yield)
+			e.sc.matcher.MatchAllProgs(e.compiled.bodies[ti], e.inst, ds, yield)
 		} else {
 			// Round 1 and NoSemiNaive enumerate the full instance; that
 			// join order is chosen per instance, so it is never cached.
-			e.matcher.MatchAllExt(t.Body, e.inst, ds, yield)
+			e.sc.matcher.MatchAllExt(t.Body, e.inst, ds, yield)
 		}
 		if e.stop {
 			break
 		}
 	}
+	e.sc.pending = pending
 	return pending
 }
 
 // buildPending assembles a fresh trigger from a live match. key is the
 // full interned fire key (TGD index, then the key-variable image ids); it
-// must be a stable copy, since the trigger's frIDs/keyIDs alias its tail.
-// Both the sequential collector and the parallel shards build their
-// triggers here, which is what keeps the two byte-identical per match.
-func (e *engine) buildPending(t *tgds.TGD, ti int, key []int32, m *logic.Match) pendingTrigger {
+// must be a copy that outlives the round (a trigger-slab copy — the
+// trigger's frIDs/keyIDs alias its tail, and everything dies together at
+// the round's slab rewind). sl is the caller's trigger slabs: the
+// engine's own for the sequential collector, the worker slot's for a
+// parallel shard. Both collectors build their triggers here, which is
+// what keeps the two byte-identical per match.
+func (e *engine) buildPending(t *tgds.TGD, ti int, key []int32, m *logic.Match, sl *trigSlabs) pendingTrigger {
+	frVars := t.FrontierIDs()
 	p := pendingTrigger{
 		tgd:    t,
 		tgdIdx: ti,
-		frImgs: m.AppendImageTerms(nil, t.FrontierIDs()),
+		frImgs: m.AppendImageTerms(sl.terms.Buf(len(frVars)), frVars),
 	}
 	switch e.opts.Variant {
 	case SemiOblivious:
@@ -365,10 +401,10 @@ func (e *engine) buildPending(t *tgds.TGD, ti int, key []int32, m *logic.Match) 
 	case Oblivious:
 		// The null key must capture the full homomorphism; the fire key's
 		// tail is exactly those sorted body-variable images.
-		p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
+		p.frIDs = m.AppendImageIDs(sl.keys.Buf(len(frVars)), frVars)
 		p.keyIDs = key[1:]
 	default: // Restricted: fires per full homomorphism, nulls per frontier.
-		p.frIDs = m.AppendImageIDs(nil, t.FrontierIDs())
+		p.frIDs = m.AppendImageIDs(sl.keys.Buf(len(frVars)), frVars)
 		p.keyIDs = p.frIDs
 	}
 	if e.forest != nil {
@@ -395,12 +431,17 @@ func (e *engine) apply(pending []pendingTrigger) int {
 		}
 		atoms := e.instantiateHead(p)
 		fired := false
+		// produced is only materialized when a derivation is recorded —
+		// Step.Produced is its sole consumer, and the append per fired
+		// trigger would otherwise be pure garbage on the hot path.
 		var produced []*logic.Atom
 		for _, a := range atoms {
 			if e.inst.Add(a) {
 				added++
 				fired = true
-				produced = append(produced, a)
+				if e.derivation != nil {
+					produced = append(produced, a)
+				}
 				if e.forest != nil {
 					e.forest.setParent(a, p.guard)
 				}
@@ -509,29 +550,38 @@ func (e *engine) instantiateHead(p pendingTrigger) []*logic.Atom {
 			depth = d + 1
 		}
 	}
-	e.nullBuf = e.nullBuf[:0]
+	sc := e.sc
+	sc.nullBuf = sc.nullBuf[:0]
 	for zi := range p.tgd.Existential() {
-		e.keyBuf = append(e.keyBuf[:0], int32(p.tgdIdx), int32(zi))
-		e.keyBuf = append(e.keyBuf, p.keyIDs...)
-		n, _ := e.nulls.InternTuple(e.keyBuf, depth)
-		e.nullBuf = append(e.nullBuf, n)
+		sc.keyBuf = append(sc.keyBuf[:0], int32(p.tgdIdx), int32(zi))
+		sc.keyBuf = append(sc.keyBuf, p.keyIDs...)
+		n, _ := e.nulls.InternTuple(sc.keyBuf, depth)
+		sc.nullBuf = append(sc.nullBuf, n)
 	}
-	out := make([]*logic.Atom, len(prog))
-	for ai, ha := range prog {
-		args := make([]logic.Term, len(ha.args))
-		ids := make([]int32, len(ha.args))
-		for i, op := range ha.args {
+	// The atoms come from the arena (args and ids are copied into its
+	// blocks), the output slice is the scratch's reusable buffer: apply
+	// consumes it before the next trigger is instantiated.
+	out := sc.headBuf[:0]
+	for _, ha := range prog {
+		args := sc.argBuf[:0]
+		ids := sc.idBuf[:0]
+		for _, op := range ha.args {
 			switch op.src {
 			case headGround:
-				args[i], ids[i] = op.term, op.id
+				args = append(args, op.term)
+				ids = append(ids, op.id)
 			case headFrontier:
-				args[i], ids[i] = p.frImgs[op.idx], p.frIDs[op.idx]
+				args = append(args, p.frImgs[op.idx])
+				ids = append(ids, p.frIDs[op.idx])
 			default:
-				n := e.nullBuf[op.idx]
-				args[i], ids[i] = n, logic.IDOf(n)
+				n := sc.nullBuf[op.idx]
+				args = append(args, n)
+				ids = append(ids, logic.IDOf(n))
 			}
 		}
-		out[ai] = logic.NewAtomFromIDs(ha.pred, args, ha.pid, ids)
+		out = append(out, sc.arena.NewAtomFromIDs(ha.pred, args, ha.pid, ids))
+		sc.argBuf, sc.idBuf = args, ids
 	}
+	sc.headBuf = out
 	return out
 }

@@ -1,19 +1,30 @@
 package chase
 
-// Parallel trigger collection. Each semi-naive round's candidate space is
-// the set of (TGD, seed body atom, delta atom) combinations of the
-// standard decomposition; this file shards it into (TGD index, seed
-// position, delta window) tasks that an Executor runs across a worker
-// pool. Workers only read: the instance (immutable between rounds, see the
-// logic.Instance contract), the fired-trigger interner (probed with the
-// read-only Has), and the symbol table (lock-free). Each worker owns a
-// reusable logic.Matcher and emits candidate triggers into the task's own
-// buffer; the merge then walks the buffers in task order — which, by the
-// MatchShard order-compatibility guarantee, is exactly the order the
-// sequential engine enumerates — and interns trigger keys so that the
-// surviving pending list, and hence the applied chase sequence,
-// CanonicalKey, forest, and derivation, are byte-identical to the
-// sequential engine's for all three variants.
+// Parallel trigger collection. Each round's candidate space is sharded
+// into (TGD index, seed body position, window) tasks that an Executor
+// runs across a worker pool. For semi-naive rounds the windows slice the
+// delta [deltaStart, inst.Len()) of the standard decomposition; for
+// round 1 (deltaStart < 0), where every atom is new, each TGD is sharded
+// by windowing the insertion sequence of its join-start atom — the body
+// position the sequential full enumeration places first in the join (see
+// logic.JoinStart) — over the whole instance. Workers only read: the
+// instance (immutable between rounds, see the logic.Instance contract),
+// the fired-trigger interner (probed with the read-only Has), and the
+// symbol table (lock-free). Each worker owns a reusable logic.Matcher and
+// trigger slabs and emits candidate triggers into the task's own buffer;
+// the merge then walks the buffers in task order — which, by the
+// MatchShard/MatchShardFull order-compatibility guarantees, is exactly
+// the order the sequential engine enumerates — and interns trigger keys
+// so that the surviving pending list, and hence the applied chase
+// sequence, CanonicalKey, forest, and derivation, are byte-identical to
+// the sequential engine's for all three variants.
+//
+// Window widths adapt to observed trigger density: a round that yielded
+// many candidate triggers per delta atom gets narrower windows next round
+// (so one task stays near shardTargetCands candidates), a sparse round
+// gets wider ones (so task dispatch doesn't dominate matching). The width
+// only changes how the candidate space is partitioned, never the merge
+// order, so adaptivity cannot perturb the byte-identity contract.
 
 import (
 	"repro/internal/logic"
@@ -31,91 +42,184 @@ type Executor interface {
 }
 
 // collectTask is one shard: TGD tgdIdx seeded at body position seed, with
-// the seed image's insertion sequence in [lo, hi).
+// the seed image's insertion sequence in [lo, hi). full marks a round-1
+// shard of the unrestricted enumeration (no old/new constraints); a full
+// task with seed < 0 is the empty-body singleton, which is not shardable.
 type collectTask struct {
 	tgdIdx, seed, lo, hi int
+	full                 bool
 }
 
 // shardCand is a candidate trigger a worker emitted: the pending trigger
 // plus its fire key (TGD index, key-variable image ids), interned at merge
-// time.
+// time. Both point into the emitting worker's slabs and die when the
+// round's triggers are applied.
 type shardCand struct {
 	p   pendingTrigger
 	key []int32
 }
 
-// collectWorker is one worker slot's reusable state.
+// collectWorker is one worker slot's reusable state. The matcher and
+// interner persist across rounds and runs; the slabs are rewound at every
+// round boundary by the engine (their tuples die at apply).
 type collectWorker struct {
 	matcher    logic.Matcher
 	keyBuf     []int32
 	seen       *logic.TupleInterner // within-task duplicate filter, reset per task
+	slabs      trigSlabs            // fire keys and frontier images of emitted triggers
 	considered int
 }
 
-// chunkTarget is the delta-window width one task should cover at minimum;
-// narrower windows would spend more on task dispatch than on matching.
-const chunkTarget = 128
+// Adaptive shard sizing. A window's width is chosen so one task yields
+// about shardTargetCands candidate triggers at the trigger density the
+// previous round observed (candidates emitted per atom of window span),
+// clamped to keep tasks from degenerating into dispatch overhead or into
+// worker-starving monoliths. The first parallel round of a run has no
+// observation yet and uses defaultShardWidth.
+const (
+	defaultShardWidth = 128
+	minShardWidth     = 16
+	maxShardWidth     = 8192
+	shardTargetCands  = 512
+)
 
-// collectParallel is collect for semi-naive rounds with an Executor: shard,
-// match concurrently, merge deterministically.
-func (e *engine) collectParallel(deltaStart int) []pendingTrigger {
-	exec := e.opts.Executor
-	deltaEnd := e.inst.Len()
-	chunks := (deltaEnd - deltaStart) / chunkTarget
-	if w := exec.Workers(); chunks > w {
-		chunks = w
+// shardWidth returns the window width for this round from the previous
+// round's observed density. Deterministic: span and candidate counts are
+// fixed by the chase sequence, independent of worker count.
+func (e *engine) shardWidth() int {
+	if e.prevSpan <= 0 || e.prevCands <= 0 {
+		return defaultShardWidth
+	}
+	w := e.prevSpan * shardTargetCands / e.prevCands
+	if w < minShardWidth {
+		w = minShardWidth
+	}
+	if w > maxShardWidth {
+		w = maxShardWidth
+	}
+	return w
+}
+
+// shardChunks splits a span of that many atoms into a chunk count from
+// the adaptive width, capped so a single (TGD, seed) pair cannot flood
+// the task list with more than a few tasks per worker.
+func (e *engine) shardChunks(span, width int) int {
+	chunks := span / width
+	if max := 4 * e.opts.Executor.Workers(); chunks > max {
+		chunks = max
 	}
 	if chunks < 1 {
 		chunks = 1
 	}
+	return chunks
+}
+
+// collectParallel is collect with an Executor: shard, match concurrently,
+// merge deterministically. deltaStart < 0 is round 1 (the unrestricted
+// enumeration); otherwise the round's delta begins at deltaStart.
+func (e *engine) collectParallel(deltaStart int) []pendingTrigger {
+	exec := e.opts.Executor
+	sc := e.sc
+	deltaEnd := e.inst.Len()
+	winLo := deltaStart
+	if winLo < 0 {
+		winLo = 0
+	}
+	span := deltaEnd - winLo
+	width := e.shardWidth()
 	// Task order is the sequential enumeration order: TGD index, then seed
-	// position, then window. Seeds whose predicate gained no delta atoms
-	// are skipped exactly like the sequential collector does.
-	tasks := e.taskBuf[:0]
-	for ti, t := range e.sigma.TGDs {
-		for seed := range t.Body {
-			if !e.inst.HasDeltaFor(t.Body[seed].PredID(), deltaStart) {
+	// position, then window.
+	tasks := sc.taskBuf[:0]
+	if deltaStart < 0 {
+		// Round 1: shard each TGD on its join-start atom, the same start
+		// the sequential full enumeration compiles — MatchShardFull's
+		// order compatibility holds only for that seed. TGDs whose start
+		// atom has no candidates yield nothing and are skipped.
+		for ti, t := range e.sigma.TGDs {
+			seed, cands := logic.JoinStart(t.Body, e.inst)
+			if seed < 0 {
+				// Empty body: the sequential enumeration yields exactly one
+				// empty match, which no window constraint can express.
+				tasks = append(tasks, collectTask{tgdIdx: ti, seed: -1, full: true})
 				continue
 			}
-			span := deltaEnd - deltaStart
+			if cands == 0 {
+				continue
+			}
+			chunks := e.shardChunks(cands, width)
 			for c := 0; c < chunks; c++ {
-				lo := deltaStart + span*c/chunks
-				hi := deltaStart + span*(c+1)/chunks
+				lo := winLo + span*c/chunks
+				hi := winLo + span*(c+1)/chunks
 				if lo < hi {
-					tasks = append(tasks, collectTask{tgdIdx: ti, seed: seed, lo: lo, hi: hi})
+					tasks = append(tasks, collectTask{tgdIdx: ti, seed: seed, lo: lo, hi: hi, full: true})
+				}
+			}
+		}
+	} else {
+		// Semi-naive round: every seed position whose predicate gained
+		// delta atoms, windowed over the delta — seeds without delta atoms
+		// are skipped exactly like the sequential collector does.
+		chunks := e.shardChunks(span, width)
+		for ti, t := range e.sigma.TGDs {
+			for seed := range t.Body {
+				if !e.inst.HasDeltaFor(t.Body[seed].PredID(), deltaStart) {
+					continue
+				}
+				for c := 0; c < chunks; c++ {
+					lo := deltaStart + span*c/chunks
+					hi := deltaStart + span*(c+1)/chunks
+					if lo < hi {
+						tasks = append(tasks, collectTask{tgdIdx: ti, seed: seed, lo: lo, hi: hi})
+					}
 				}
 			}
 		}
 	}
-	e.taskBuf = tasks
-	if e.workers == nil {
-		// Worker-local matchers and key buffers persist across rounds, like
-		// the sequential engine's single reusable matcher.
-		e.workers = make([]collectWorker, exec.Workers())
+	sc.taskBuf = tasks
+	if len(sc.workers) < exec.Workers() {
+		// Worker-slot state (matchers, interners, slabs) persists across
+		// rounds and runs; growing the pool keeps the existing slots.
+		ws := make([]collectWorker, exec.Workers())
+		copy(ws, sc.workers)
+		sc.workers = ws
 	}
-	workers := e.workers
-	out := make([][]shardCand, len(tasks))
+	workers := sc.workers
+	out := sc.outBuf[:cap(sc.outBuf)]
+	for len(out) < len(tasks) {
+		out = append(out, nil)
+	}
+	out = out[:len(tasks)]
+	for i := range out {
+		out[i] = out[i][:0]
+	}
+	sc.outBuf = out
 	exec.Map(len(tasks), func(i, w int) {
 		e.collectShard(tasks[i], &workers[w], &out[i], deltaStart)
 	})
 	// Merge: walk the shard buffers in task order and intern fire keys, so
 	// within-round duplicates resolve to the same first occurrence the
 	// sequential engine keeps.
-	var pending []pendingTrigger
+	pending := sc.pending[:0]
 	for i := range out {
 		for _, c := range out[i] {
-			if _, fresh := e.fired.Intern(c.key); fresh {
+			if _, fresh := sc.fired.Intern(c.key); fresh {
 				pending = append(pending, c.p)
 			}
 		}
 	}
+	roundConsidered := 0
 	for i := range workers {
-		e.considered += workers[i].considered
+		roundConsidered += workers[i].considered
 		workers[i].considered = 0
 	}
+	e.considered += roundConsidered
+	// Feed the adaptive width: this round's candidate density is next
+	// round's sizing signal.
+	e.prevSpan, e.prevCands = span, roundConsidered
 	if e.parStop.Load() {
 		e.stop = true
 	}
+	sc.pending = pending
 	return pending
 }
 
@@ -149,21 +253,28 @@ func (e *engine) collectShard(t collectTask, w *collectWorker, out *[]shardCand,
 		}
 		w.keyBuf = append(w.keyBuf[:0], int32(t.tgdIdx))
 		w.keyBuf = m.AppendImageIDs(w.keyBuf, fireVars)
-		if e.fired.Has(w.keyBuf) {
+		if e.sc.fired.Has(w.keyBuf) {
 			return true // fired in an earlier round
 		}
 		if _, fresh := w.seen.Intern(w.keyBuf); !fresh {
 			return true // duplicate within this task
 		}
-		key := append([]int32(nil), w.keyBuf...)
-		*out = append(*out, shardCand{p: e.buildPending(tgd, t.tgdIdx, key, m), key: key})
+		key := w.slabs.keys.Copy(w.keyBuf)
+		*out = append(*out, shardCand{p: e.buildPending(tgd, t.tgdIdx, key, m, &w.slabs), key: key})
 		return true
 	}
-	if e.compiled != nil {
+	switch {
+	case t.seed < 0:
+		// Empty-body singleton: delegate to the unrestricted enumeration,
+		// whose empty-body path yields the one empty match.
+		w.matcher.MatchAllExt(tgd.Body, e.inst, -1, yield)
+	case t.full:
+		w.matcher.MatchShardFull(tgd.Body, e.inst, t.seed, t.lo, t.hi, yield)
+	case e.compiled != nil:
 		// The shared program is read-only; per-worker matchers install it
 		// concurrently and keep their bindings in their own slot arrays.
 		w.matcher.MatchShardProg(e.compiled.bodies[t.tgdIdx][t.seed], e.inst, deltaStart, t.lo, t.hi, yield)
-	} else {
+	default:
 		w.matcher.MatchShard(tgd.Body, e.inst, deltaStart, t.seed, t.lo, t.hi, yield)
 	}
 }

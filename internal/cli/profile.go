@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags registers the conventional -cpuprofile and -memprofile
+// flags on the given flag set and returns their targets. Wire them up
+// after parsing with StartProfiles.
+func ProfileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// StartProfiles starts the profiles the two paths select (empty paths are
+// ignored) and returns a stop function the caller must run before exiting
+// — it stops the CPU profile and writes the heap profile (after a GC, so
+// the snapshot shows live memory, not garbage). Profile files the stop
+// function could not write are reported in its error; a start error
+// leaves nothing running.
+func StartProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cli: cpu profile: %w", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cli: heap profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cli: heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cli: heap profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -132,6 +132,55 @@ func (mm *Matcher) MatchShard(body []*Atom, inst *Instance, deltaStart, seed, lo
 	return m.run(yield)
 }
 
+// JoinStart returns the body position MatchAllExt's full enumeration
+// (deltaStart < 0) places first in the join — the atom whose predicate has
+// the fewest atoms in inst, first minimum winning — together with that
+// candidate count. It exposes orderBody's start selection so the parallel
+// collector can shard the full enumeration on the same start atom; a zero
+// candidate count means the enumeration is empty. start is -1 for an
+// empty body.
+func JoinStart(body []*Atom, inst *Instance) (start, candidates int) {
+	if len(body) == 0 {
+		return -1, 0
+	}
+	start = 0
+	best := len(inst.byPredID(body[0].pid))
+	for i := 1; i < len(body); i++ {
+		if c := len(inst.byPredID(body[i].pid)); c < best {
+			best, start = c, i
+		}
+	}
+	return start, best
+}
+
+// MatchShardFull enumerates one shard of the full enumeration of
+// MatchAllExt(deltaStart < 0): the homomorphisms whose image of body[seed]
+// has insertion sequence in [lo, hi). seed must be JoinStart(body, inst),
+// so the join order is exactly the one the full enumeration compiles, and
+// the window constraint only slices the start atom's insertion-ordered
+// candidate lists — hence partitioning [0, inst.Len()) into windows
+// partitions the full enumeration, and concatenating the shards by lo
+// reproduces its yield order exactly (the same order-compatibility
+// argument as MatchShard, without the semi-naive old/new constraints).
+// The parallel chase collector uses it to shard round 1, where every
+// homomorphism is new.
+//
+// Like MatchShard it only reads the instance, so distinct Matchers may
+// shard concurrently. It returns false when yield stopped the enumeration.
+func (mm *Matcher) MatchShardFull(body []*Atom, inst *Instance, seed, lo, hi int, yield func(*Match) bool) bool {
+	m := &mm.m
+	m.view.m = m
+	m.inst = inst
+	m.stopped = false
+	if len(body) == 0 || seed < 0 || seed >= len(body) {
+		return true // no seed space: the empty body matches in no shard
+	}
+	cons := m.anyAgeCons(len(body))
+	cons[seed] = deltaConstraint{mode: mustBeNew, bound: lo, hi: hi}
+	m.compile(body, cons, seed)
+	return m.run(yield)
+}
+
 // anyAgeCons returns the matcher's reusable constraint buffer, zeroed.
 func (m *matcher) anyAgeCons(n int) []deltaConstraint {
 	if cap(m.consIn) < n {

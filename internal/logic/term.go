@@ -78,8 +78,8 @@ func (f Fresh) String() string { return strconv.Itoa(int(f)) }
 // pointer equality coincides with term equality within one factory.
 type Null struct {
 	id    int
-	gid   int32 // process-wide symbol id, assigned at creation
-	name  string
+	gid   int32  // process-wide symbol id, assigned at creation
+	name  string // lazily built by String; not synchronized (presentation, like Atom.Key)
 	depth int
 }
 
@@ -88,8 +88,16 @@ type Null struct {
 // independent chase runs comparable by CanonicalKey.
 func (n *Null) Key() string { return "n\x00" + strconv.Itoa(n.id) }
 
-// String returns the printable name of the null (for example "⊥3").
-func (n *Null) String() string { return n.name }
+// String returns the printable name of the null (for example "⊥3"). The
+// name is built on first use — the chase invents orders of magnitude more
+// nulls than it ever renders — and cached without synchronization, like
+// the lazy Atom.Key: rendering is single-goroutine by contract.
+func (n *Null) String() string {
+	if n.name == "" {
+		n.name = "⊥" + strconv.Itoa(n.id)
+	}
+	return n.name
+}
 
 // ID returns the factory-assigned identifier of the null.
 func (n *Null) ID() int { return n.id }
@@ -114,6 +122,7 @@ type NullFactory struct {
 	byID     map[int]*Null // NullAt-created nulls, sparse by caller-chosen id
 	base     int           // first id this factory hands out
 	maxDepth int
+	chunk    []Null // block the next nulls are carved from (newNull)
 }
 
 // NewNullFactory returns an empty factory numbering nulls from 0.
@@ -162,9 +171,18 @@ func (f *NullFactory) InternTuple(tuple []int32, depth int) (*Null, bool) {
 	return n, true
 }
 
+// newNull carves the next null out of the factory's current block: nulls
+// escape with the instance that references them, so blocks are abandoned
+// (never recycled) once full, and the per-null heap cost amortizes to
+// 1/nullChunk allocations. Names are built lazily by String.
 func (f *NullFactory) newNull(depth int) *Null {
-	id := f.base + len(f.all)
-	n := &Null{id: id, name: "⊥" + strconv.Itoa(id), depth: depth}
+	const nullChunk = 64
+	if len(f.chunk) == cap(f.chunk) {
+		f.chunk = make([]Null, 0, nullChunk)
+	}
+	f.chunk = f.chunk[:len(f.chunk)+1]
+	n := &f.chunk[len(f.chunk)-1]
+	*n = Null{id: f.base + len(f.all), depth: depth}
 	n.gid = registerNull(n)
 	f.all = append(f.all, n)
 	if depth > f.maxDepth {
@@ -189,7 +207,7 @@ func (f *NullFactory) NullAt(id, depth int) *Null {
 	if f.byID == nil {
 		f.byID = make(map[int]*Null)
 	}
-	n := &Null{id: id, name: "⊥" + strconv.Itoa(id), depth: depth}
+	n := &Null{id: id, depth: depth}
 	n.gid = registerNull(n)
 	f.byID[id] = n
 	if depth > f.maxDepth {

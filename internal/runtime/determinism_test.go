@@ -156,9 +156,9 @@ func TestParallelCollectorIsUsed(t *testing.T) {
 	if !res.Terminated {
 		t.Fatal("unexpected budget hit")
 	}
-	// Every round after the (deliberately sequential) first one shards its
-	// collection through the executor.
-	if want := res.Stats.Rounds - 1; ce.maps != want {
+	// Every round — round 1 shards the full enumeration on each TGD's
+	// join-start atom, later rounds shard the semi-naive delta.
+	if want := res.Stats.Rounds; ce.maps != want {
 		t.Fatalf("parallel collector invoked %d times over %d rounds, want %d",
 			ce.maps, res.Stats.Rounds, want)
 	}
@@ -175,9 +175,9 @@ func (c *countingExec) Map(n int, task func(i, w int)) {
 	c.inner.Map(n, task)
 }
 
-// The ablation path (NoSemiNaive) and the first round bypass the parallel
-// collector by design; an executor attached to such runs must still yield
-// identical results.
+// The ablation path (NoSemiNaive) bypasses the parallel collector by
+// design; an executor attached to such runs must still yield identical
+// results.
 func TestParallelChaseNoSemiNaiveFallback(t *testing.T) {
 	w := families.SLLower(2, 2, 2)
 	opts := chase.Options{NoSemiNaive: true}

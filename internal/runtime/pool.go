@@ -32,6 +32,14 @@ type Job struct {
 	Meta JobMeta
 	Wall time.Duration // wall-clock budget; 0 = none
 	Run  func(ctx context.Context) (any, error)
+	// RunScratch, when non-nil, is preferred over Run by the Scheduler,
+	// which passes the calling worker's pooled chase.Scratch so consecutive
+	// jobs on one worker reuse matcher buffers, interners, and slabs
+	// instead of reallocating them. sc is never nil and never shared with a
+	// concurrently running job; results must be byte-identical to Run's
+	// (chase guarantees this for Options.Scratch). Callers that execute a
+	// Job directly may invoke Run and ignore RunScratch.
+	RunScratch func(ctx context.Context, sc *chase.Scratch) (any, error)
 }
 
 // JobResult is one job's outcome, reported in submission order.
@@ -197,13 +205,20 @@ func ChaseJob(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Optio
 	if exec != nil {
 		opts.Executor = exec
 	}
+	run := func(ctx context.Context, sc *chase.Scratch) (any, error) {
+		o := opts
+		o.Interrupt = Interrupter(ctx)
+		if o.Scratch == nil {
+			o.Scratch = sc
+		}
+		return chase.Run(db, sigma, o), nil
+	}
 	return Job{
 		Name: name,
 		Wall: b.Wall,
 		Run: func(ctx context.Context) (any, error) {
-			o := opts
-			o.Interrupt = Interrupter(ctx)
-			return chase.Run(db, sigma, o), nil
+			return run(ctx, nil)
 		},
+		RunScratch: run,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chase"
@@ -140,6 +141,11 @@ type Scheduler struct {
 	qmu    sync.Mutex
 	fair   fairQueue
 	queued int
+
+	// scratchReuses counts jobs that ran on a worker's already-warmed
+	// chase.Scratch (every RunScratch job after a worker's first) —
+	// the observable effect of the scratch pool, surfaced for stats.
+	scratchReuses atomic.Int64
 
 	mu      sync.Mutex
 	idle    sync.Cond // signaled whenever active drops to zero
@@ -403,6 +409,12 @@ func (s *Scheduler) release() {
 
 func (s *Scheduler) worker() {
 	defer s.workerWG.Done()
+	// Each worker owns one chase scratch for its whole life: consecutive
+	// chase jobs on this goroutine reset its buffers instead of
+	// reallocating them (Options.Scratch guarantees byte-identical
+	// results), so a warm scheduler's steady-state allocation rate is
+	// dominated by the atoms the jobs actually derive.
+	sc := chase.NewScratch()
 	for range s.work {
 		s.qmu.Lock()
 		t := s.fair.pop()
@@ -412,16 +424,21 @@ func (s *Scheduler) worker() {
 		// Submit can admit. Token conservation (slots held + queued ==
 		// bound) means this send never blocks.
 		s.slots <- struct{}{}
-		s.run(t)
+		s.run(t, sc)
 	}
 }
+
+// ScratchReuses returns how many jobs so far ran on a worker's
+// already-warmed scratch — 0 until some worker serves its second
+// scratch-aware job.
+func (s *Scheduler) ScratchReuses() int64 { return s.scratchReuses.Load() }
 
 // run executes one ticket and delivers its result. The classification
 // mirrors the batch Pool's contract: TimedOut means the job's own wall
 // budget expired; preemption through the ticket's context (Cancel or a
 // parent context's cancellation/deadline) is Canceled; a job that absorbs
 // the preemption and still returns a value counts as succeeded.
-func (s *Scheduler) run(t *Ticket) {
+func (s *Scheduler) run(t *Ticket, sc *chase.Scratch) {
 	defer s.release()
 	defer t.cancelFn()
 	r := JobResult{Name: t.job.Name, Index: t.index}
@@ -434,8 +451,11 @@ func (s *Scheduler) run(t *Ticket) {
 		if t.job.Wall > 0 {
 			jctx, cancel = context.WithTimeout(t.ctx, t.job.Wall)
 		}
+		if t.job.RunScratch != nil && sc != nil && sc.Runs() > 0 {
+			s.scratchReuses.Add(1)
+		}
 		t0 := time.Now()
-		r.Value, r.Err = invoke(t.job, jctx)
+		r.Value, r.Err = invoke(t.job, jctx, sc)
 		r.Wall = time.Since(t0)
 		r.TimedOut = t.job.Wall > 0 && jctx.Err() == context.DeadlineExceeded && t.ctx.Err() == nil
 		r.Canceled = r.Err != nil && t.ctx.Err() != nil && errors.Is(r.Err, t.ctx.Err())
@@ -452,12 +472,15 @@ func (s *Scheduler) run(t *Ticket) {
 // ticket, not unwind a worker goroutine and kill every other tenant's
 // process. (The intra-run Executor keeps its own contract of re-panicking
 // on the calling goroutine — there the caller is the one run.)
-func invoke(j Job, ctx context.Context) (v any, err error) {
+func invoke(j Job, ctx context.Context, sc *chase.Scratch) (v any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			v, err = nil, fmt.Errorf("runtime: job %s panicked: %v", j.Name, p)
 		}
 	}()
+	if j.RunScratch != nil && sc != nil {
+		return j.RunScratch(ctx, sc)
+	}
 	return j.Run(ctx)
 }
 

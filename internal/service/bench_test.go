@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	goruntime "runtime"
 	"testing"
 
 	"repro/internal/compile"
@@ -37,6 +38,7 @@ func BenchmarkServiceSubmit(b *testing.B) {
 				b.Fatal(r.Err)
 			}
 		}
+		reportGOMAXPROCS(b)
 	}
 	b.Run("inprocess", func(b *testing.B) {
 		run(b, func(s *Service) (*Ticket, error) {
@@ -67,6 +69,7 @@ func BenchmarkServiceSubmit(b *testing.B) {
 				b.Fatal(r.Err)
 			}
 		}
+		reportGOMAXPROCS(b)
 	})
 	b.Run("encode+wire", func(b *testing.B) {
 		// The full remote round trip: encode the database per job too.
@@ -88,5 +91,13 @@ func BenchmarkServiceSubmit(b *testing.B) {
 				b.Fatal(r.Err)
 			}
 		}
+		reportGOMAXPROCS(b)
 	})
+}
+
+// reportGOMAXPROCS stamps the runner's parallelism onto the benchmark
+// line, so numbers copied into BENCH_*.json environment_note fields
+// carry their provenance automatically.
+func reportGOMAXPROCS(b *testing.B) {
+	b.ReportMetric(float64(goruntime.GOMAXPROCS(0)), "gomaxprocs")
 }

@@ -86,6 +86,10 @@ func New(cfg Config) *Service {
 // Cache returns the service's compilation cache (for stats surfaces).
 func (s *Service) Cache() *compile.Cache { return s.cache }
 
+// ScratchReuses returns how many jobs so far ran on a scheduler worker's
+// already-warmed chase scratch (for stats surfaces).
+func (s *Service) ScratchReuses() int64 { return s.sched.ScratchReuses() }
+
 // Drain blocks until every admitted job has completed.
 func (s *Service) Drain() { s.sched.Drain() }
 
