@@ -24,6 +24,7 @@ import (
 	"repro/internal/parser"
 	rt "repro/internal/runtime"
 	"repro/internal/simplify"
+	"repro/internal/telemetry"
 	"repro/internal/tm"
 )
 
@@ -237,6 +238,83 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		cache.CompiledChase(w.Sigma)
 		b.ResetTimer()
 		runFleet(b, 4, 16, cache)
+	})
+}
+
+// benchObserver feeds registry counters with per-round deltas, mirroring
+// the scheduler's own chase observer (which is unexported) so the
+// "enabled" arm of BenchmarkTelemetryOverhead prices the same per-round
+// work a telemetry-enabled scheduler adds to a run.
+type benchObserver struct {
+	rounds   *telemetry.Counter
+	atoms    *telemetry.Counter
+	triggers *telemetry.Counter
+
+	started    bool
+	prevAtoms  int
+	prevFired  int
+	prevRounds int
+}
+
+func newBenchObserver(r *telemetry.Registry) *benchObserver {
+	return &benchObserver{
+		rounds:   r.Counter("chase_rounds_total", "Chase saturation rounds completed."),
+		atoms:    r.Counter("chase_atoms_derived_total", "Atoms derived beyond the input database."),
+		triggers: r.Counter("chase_triggers_fired_total", "Triggers fired."),
+	}
+}
+
+func (o *benchObserver) reset() {
+	o.started = false
+	o.prevAtoms, o.prevFired, o.prevRounds = 0, 0, 0
+}
+
+func (o *benchObserver) bill(st chase.Stats) {
+	if !o.started {
+		o.started = true
+		o.prevAtoms = st.InitialAtoms
+	}
+	o.rounds.Add(uint64(st.Rounds - o.prevRounds))
+	o.atoms.Add(uint64(st.Atoms - o.prevAtoms))
+	o.triggers.Add(uint64(st.TriggersFired - o.prevFired))
+	o.prevRounds, o.prevAtoms, o.prevFired = st.Rounds, st.Atoms, st.TriggersFired
+}
+
+func (o *benchObserver) ObserveRound(st chase.Stats)        { o.bill(st) }
+func (o *benchObserver) ObserveDone(st chase.Stats, _ bool) { o.bill(st) }
+
+// BenchmarkTelemetryOverhead prices the observability seam on the
+// guarded-chase hot path. "disabled" is the plain run every
+// telemetry-less scheduler drives — its allocs/op must track
+// BenchmarkChaseGuarded (the seam is a nil Observer field, nothing
+// more); CI's bench-smoke job holds it within 2% of the recorded
+// baseline. "enabled" attaches the registry-fed observer and so prices
+// the full per-round metering a telemetry-enabled scheduler adds.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w := families.GLower(1, 1, 1)
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := chase.Run(w.Database, w.Sigma, chase.Options{})
+			if !res.Terminated {
+				b.Fatal("unexpected budget hit")
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tel := telemetry.New()
+		obs := newBenchObserver(tel.Registry)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			obs.reset()
+			res := chase.Run(w.Database, w.Sigma, chase.Options{Observer: obs})
+			if !res.Terminated {
+				b.Fatal("unexpected budget hit")
+			}
+		}
+		b.StopTimer()
+		if v, ok := tel.Registry.Snapshot().Get("chase_rounds_total"); !ok || v <= 0 {
+			b.Fatal("observer billed nothing")
+		}
 	})
 }
 

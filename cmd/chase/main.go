@@ -6,6 +6,7 @@
 //
 //	chase -data db.dlgp -rules onto.dlgp [-engine semi|oblivious|restricted]
 //	      [-max-atoms N] [-workers N] [-stats] [-quiet] [-stream]
+//	      [-metrics FILE] [-trace FILE]
 //	chase -request req.json [-workers N] [-stats] [-quiet] [-stream]
 //
 // Facts and rules may also live in a single file passed via -program, or
@@ -24,7 +25,11 @@
 // reports the cache interaction, including the cache's approximate byte
 // footprint. With -stream, the ticket's round-level progress events are
 // printed to stderr as rounds complete; stdout is byte-identical either
-// way. A budget-truncated run always ends its stdout with a
+// way. With -metrics / -trace, the run's metrics snapshot (Prometheus
+// text; a .json path selects the JSON rendering) and per-job trace
+// spans (JSON lines) are written to files at exit — like -stats and
+// -stream, pure observability that never touches stdout. A
+// budget-truncated run always ends its stdout with a
 // deterministic "% truncated" comment line (a dlgp comment, so -format
 // dlgp output stays re-parseable).
 package main
@@ -38,7 +43,6 @@ import (
 	"os"
 
 	"repro/internal/cli"
-	"repro/internal/compile"
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/service"
@@ -66,6 +70,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers   = cli.WorkersFlag(fs)
 		stream    = cli.StreamFlag(fs)
 	)
+	metricsPath, tracePath := cli.TelemetryFlags(fs)
 	cpuprofile, memprofile := cli.ProfileFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -124,8 +129,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	req.Workers = cli.Workers(*workers)
 
 	// One-shot service over the process-wide compilation cache: submit
-	// the envelope, await (or stream) the ticket.
-	svc := service.New(service.Config{Workers: 1, QueueBound: 1})
+	// the envelope, await (or stream) the ticket. Telemetry is built only
+	// when some flag consumes it (-stats, -metrics, -trace); stdout is
+	// byte-identical either way.
+	tel := cli.NewTelemetry(*stats, *metricsPath, *tracePath)
+	svc := service.New(service.Config{Workers: 1, QueueBound: 1, Telemetry: tel})
 	defer svc.Close()
 	ticket, err := svc.SubmitChase(context.Background(), req)
 	if err != nil {
@@ -169,12 +177,24 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		s := res.Stats
-		cs := compile.Global().Stats()
-		fmt.Fprintf(stderr,
-			"engine=%v atoms=%d (initial %d) rounds=%d triggers=%d/%d nulls=%d maxdepth=%d terminated=%v cache=%s cache-entries=%d cache-bytes=%d arena-blocks=%d scratch-reuses=%d\n",
-			req.Variant, s.Atoms, s.InitialAtoms, s.Rounds, s.TriggersFired, s.TriggersConsidered,
-			s.Nulls, s.MaxDepth, res.Terminated, cli.CacheState(s), cs.Entries, cs.Bytes,
-			s.ArenaBlocks, svc.ScratchReuses())
+		cli.StatsBlock(stderr, "chase", [][2]string{
+			{"engine", fmt.Sprint(req.Variant)},
+			{"atoms", fmt.Sprint(s.Atoms)},
+			{"initial-atoms", fmt.Sprint(s.InitialAtoms)},
+			{"rounds", fmt.Sprint(s.Rounds)},
+			{"triggers-fired", fmt.Sprint(s.TriggersFired)},
+			{"triggers-considered", fmt.Sprint(s.TriggersConsidered)},
+			{"nulls", fmt.Sprint(s.Nulls)},
+			{"max-depth", fmt.Sprint(s.MaxDepth)},
+			{"terminated", fmt.Sprint(res.Terminated)},
+			{"cache", cli.CacheState(s)},
+			{"arena-blocks", fmt.Sprint(s.ArenaBlocks)},
+			{"scratch-reuses", fmt.Sprint(svc.ScratchReuses())},
+		}, svc.Metrics())
+	}
+	if err := cli.WriteTelemetry(tel, *metricsPath, *tracePath); err != nil {
+		fmt.Fprintln(stderr, "chase:", err)
+		return 2
 	}
 	if !res.Terminated {
 		return 1

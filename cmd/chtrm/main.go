@@ -8,8 +8,9 @@
 // Usage:
 //
 //	chtrm -data db.dlgp -rules onto.dlgp [-method syntactic|naive|ucq]
-//	      [-max-atoms N] [-workers N] [-show-bounds] [-stream]
-//	chtrm -request req.json [-workers N] [-stream]
+//	      [-max-atoms N] [-workers N] [-show-bounds] [-stats] [-stream]
+//	      [-metrics FILE] [-trace FILE]
+//	chtrm -request req.json [-workers N] [-stats] [-stream]
 //
 // Every decision routes through the service layer as a typed
 // DecideRequest (internal/service) — the same envelope a remote
@@ -22,7 +23,11 @@
 // naive, the one long-running method); the verdict on stdout is
 // byte-identical either way. The naive probe's compiled programs and the
 // ucq method's UCQ build are served by the process-wide compilation
-// cache (internal/compile), keyed by Σ's canonical fingerprint.
+// cache (internal/compile), keyed by Σ's canonical fingerprint. With
+// -stats, a key-value statistics block — the same registry-sourced
+// block chase -stats prints — lands on stderr; -metrics and -trace
+// write the metrics snapshot and per-job trace spans to files at exit.
+// None of the three touches stdout.
 //
 // Exit status: 0 terminating, 1 non-terminating, 3 unknown.
 package main
@@ -60,10 +65,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		showBounds = fs.Bool("show-bounds", false, "print d_C(Σ) and f_C(Σ)")
 		dotPath    = fs.String("dot", "", "write the dependency graph dg(Σ) in GraphViz format to this file")
 		uniform    = fs.Bool("uniform", false, "decide uniform termination (every database) instead")
+		stats      = fs.Bool("stats", false, "print run statistics")
 		request    = cli.RequestFlag(fs)
 		workers    = cli.WorkersFlag(fs)
 		stream     = cli.StreamFlag(fs)
 	)
+	metricsPath, tracePath := cli.TelemetryFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a successful invocation, not CLI misuse
@@ -146,7 +153,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	// One-shot service over the process-wide compilation cache.
-	svc := service.New(service.Config{Workers: 1, QueueBound: 1})
+	tel := cli.NewTelemetry(*stats, *metricsPath, *tracePath)
+	svc := service.New(service.Config{Workers: 1, QueueBound: 1, Telemetry: tel})
 	defer svc.Close()
 	ticket, err := svc.SubmitDecide(context.Background(), req)
 	if err != nil {
@@ -159,6 +167,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintln(stdout, r.Verdict)
+	if *stats {
+		usedMethod := req.Method
+		if usedMethod == "" {
+			usedMethod = "syntactic"
+		}
+		cli.StatsBlock(stderr, "chtrm", [][2]string{
+			{"class", fmt.Sprint(class)},
+			{"method", usedMethod},
+			{"outcome", fmt.Sprint(r.Verdict.Outcome)},
+		}, svc.Metrics())
+	}
+	if err := cli.WriteTelemetry(tel, *metricsPath, *tracePath); err != nil {
+		fmt.Fprintln(stderr, "chtrm:", err)
+		return 2
+	}
 	switch r.Verdict.Outcome {
 	case core.Finite:
 		return 0

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-exp ID | -exp all] [-quick] [-workers N] [-format table|csv]
-//	            [-list] [-stream]
+//	            [-list] [-stream] [-metrics FILE] [-trace FILE]
 //	experiments -request req.json [-workers N] [-format table|csv]
 //
 // Every experiment runs as a typed ExperimentRequest through the service
@@ -53,6 +53,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers = cli.WorkersFlag(fs)
 		stream  = cli.StreamFlag(fs)
 	)
+	metricsPath, tracePath := cli.TelemetryFlags(fs)
 	cpuprofile, memprofile := cli.ProfileFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,7 +105,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// One service, one job per experiment, awaited in submission order:
 	// experiments stay sequential (several are timing-sensitive), but
 	// every run goes through the public submission path.
-	svc := service.New(service.Config{Workers: 1, QueueBound: 1})
+	tel := cli.NewTelemetry(false, *metricsPath, *tracePath)
+	svc := service.New(service.Config{Workers: 1, QueueBound: 1, Telemetry: tel})
 	defer svc.Close()
 	for i := range reqs {
 		reqs[i].Workers = cli.Workers(*workers)
@@ -142,6 +144,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, werr)
 			return 1
 		}
+	}
+	if err := cli.WriteTelemetry(tel, *metricsPath, *tracePath); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 2
 	}
 	return 0
 }

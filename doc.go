@@ -89,4 +89,19 @@
 // chase variants (property-tested in internal/compile, fuzzed via
 // FuzzFingerprint, and pinned end to end by the cmd golden tests);
 // chase.Stats reports per-run cache hits and misses.
+//
+// Observability (internal/telemetry) is a zero-dependency layer over the
+// serving plane: an atomic metrics Registry (counters, gauges,
+// fixed-bucket histograms, capped label vectors), a deterministic
+// per-job TraceSink emitting JSON-line spans ordered by (job index,
+// seq), and an HTTP Handler serving /healthz, /metrics (Prometheus
+// text), and /metrics.json. The layers feed it through seams that keep
+// the leaf packages free of telemetry imports: chase.Observer sees
+// round boundaries, wire.Meter sees codec bytes, and a snapshot-time
+// collector bridges compile.Stats. Telemetry is opt-in via
+// Config.Telemetry and free when off — every instrumentation site is a
+// nil check, and CI pins the disabled path's allocation profile
+// (BENCH_obs.json) against the recorded hot-path baselines. The CLIs
+// surface it as -stats (stderr key-value block), -metrics, and -trace;
+// stdout and the goldens stay byte-identical.
 package repro

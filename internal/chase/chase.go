@@ -91,6 +91,12 @@ type Options struct {
 	// scheduler (internal/runtime's Scheduler) decouples consumers through
 	// per-job latest-wins channels so a slow consumer throttles nothing.
 	Progress func(Stats)
+	// Observer, when non-nil, passively observes the run — every round
+	// boundary (right after Progress) and the run's end — so serving
+	// layers can meter rounds, derived atoms, and per-round trace spans
+	// without the engine knowing about telemetry. See Observer for the
+	// contract; nil is the fast path (one nil check per round).
+	Observer Observer
 	// Scratch, when non-nil, supplies the run's reusable allocation state
 	// (matcher buffers, atom arena, trigger slabs, fired-key interner) so
 	// long-lived callers amortize it across jobs; see Scratch. A run
@@ -195,6 +201,9 @@ func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 	terminated := e.run()
 	res := &Result{Instance: e.inst, Terminated: terminated, Forest: e.forest, Derivation: e.derivation}
 	res.Stats = e.stats()
+	if opts.Observer != nil {
+		opts.Observer.ObserveDone(res.Stats, terminated)
+	}
 	return res
 }
 
@@ -305,8 +314,14 @@ func (e *engine) run() bool {
 		for i := range e.sc.workers {
 			e.sc.workers[i].slabs.rewind()
 		}
-		if e.opts.Progress != nil {
-			e.opts.Progress(e.stats())
+		if e.opts.Progress != nil || e.opts.Observer != nil {
+			st := e.stats()
+			if e.opts.Progress != nil {
+				e.opts.Progress(st)
+			}
+			if e.opts.Observer != nil {
+				e.opts.Observer.ObserveRound(st)
+			}
 		}
 		if e.stop {
 			return false

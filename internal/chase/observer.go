@@ -1,0 +1,59 @@
+package chase
+
+// Observer is the engine's telemetry seam: a passive listener invoked at
+// the same round barrier as Options.Progress and once at run end. It
+// exists so the serving layers can meter rounds, derived atoms, and
+// per-round trace spans without the engine knowing anything about
+// metrics — the engine stays telemetry-agnostic, and internal/runtime
+// adapts an Observer onto internal/telemetry.
+//
+// Contract: both methods are called inline from the engine goroutine
+// (never concurrently), must not block, and must not mutate anything
+// the run depends on. Observation never reorders the chase — every
+// byte-identity suite runs unchanged with and without an Observer. The
+// nil Observer is the fast path: a disabled run pays one nil check per
+// round and nothing else.
+type Observer interface {
+	// ObserveRound is invoked at every round boundary — after the round's
+	// apply phase, right after Options.Progress — with the run's
+	// statistics so far.
+	ObserveRound(Stats)
+	// ObserveDone is invoked exactly once, after the final round (or the
+	// budget/interrupt stop), with the run's final statistics and whether
+	// a fixpoint was reached.
+	ObserveDone(Stats, bool)
+}
+
+// MultiObserver fans one run's observations out to several observers in
+// order. Nil entries are skipped; a nil or empty list yields nil (the
+// disabled fast path).
+func MultiObserver(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return multiObserver(live)
+	}
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) ObserveRound(s Stats) {
+	for _, o := range m {
+		o.ObserveRound(s)
+	}
+}
+
+func (m multiObserver) ObserveDone(s Stats, terminated bool) {
+	for _, o := range m {
+		o.ObserveDone(s, terminated)
+	}
+}

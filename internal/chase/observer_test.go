@@ -1,0 +1,111 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// recorder counts observations and remembers the final callback.
+type recorder struct {
+	rounds     int
+	doneCalls  int
+	last       Stats
+	terminated bool
+}
+
+func (r *recorder) ObserveRound(s Stats) { r.rounds++; r.last = s }
+func (r *recorder) ObserveDone(s Stats, terminated bool) {
+	r.doneCalls++
+	r.last = s
+	r.terminated = terminated
+}
+
+// TestObserverCallbacks: an Observer sees every round boundary plus
+// exactly one done callback carrying the final statistics, and the
+// observed run's result is byte-identical to the unobserved run.
+func TestObserverCallbacks(t *testing.T) {
+	dbSrc := `e(a, b). e(b, c).`
+	rulesSrc := `e(X, Y) -> ∃Z e(Y, Z).
+	             e(X, Y) -> p(X).`
+	rec := &recorder{}
+	obs := run(t, dbSrc, rulesSrc, Options{MaxAtoms: 60, Observer: rec})
+	plain := run(t, dbSrc, rulesSrc, Options{MaxAtoms: 60})
+	if got, want := obs.Instance.CanonicalKey(), plain.Instance.CanonicalKey(); got != want {
+		t.Fatal("observer changed the chase result")
+	}
+	if rec.doneCalls != 1 {
+		t.Fatalf("done calls = %d, want 1", rec.doneCalls)
+	}
+	if rec.rounds != obs.Stats.Rounds {
+		t.Fatalf("observed %d rounds, stats say %d", rec.rounds, obs.Stats.Rounds)
+	}
+	if rec.last.Atoms != obs.Stats.Atoms || rec.terminated != obs.Terminated {
+		t.Fatalf("final observation %+v/%v vs result %+v/%v",
+			rec.last, rec.terminated, obs.Stats, obs.Terminated)
+	}
+
+	// A terminating run reports terminated=true to ObserveDone.
+	rec2 := &recorder{}
+	res := run(t, `r(a, b).`, `r(X, Y) -> p(X).`, Options{Observer: rec2})
+	if !res.Terminated || !rec2.terminated || rec2.doneCalls != 1 {
+		t.Fatalf("terminating run: result=%v observed=%v calls=%d",
+			res.Terminated, rec2.terminated, rec2.doneCalls)
+	}
+}
+
+// TestObserverWithoutProgress: the observer fires even when no
+// Progress callback is installed (they share the round barrier but not
+// the enabling condition).
+func TestObserverWithoutProgress(t *testing.T) {
+	rec := &recorder{}
+	res := run(t, `r(a, b).`, `r(X, Y) -> p(X). p(X) -> q(X).`, Options{Observer: rec})
+	if rec.rounds == 0 || rec.rounds != res.Stats.Rounds {
+		t.Fatalf("rounds observed = %d, stats = %d", rec.rounds, res.Stats.Rounds)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	if MultiObserver() != nil || MultiObserver(nil, nil) != nil {
+		t.Fatal("empty fan-out is not nil")
+	}
+	a := &recorder{}
+	if MultiObserver(nil, a, nil) != Observer(a) {
+		t.Fatal("single live observer not returned directly")
+	}
+	b := &recorder{}
+	m := MultiObserver(a, b)
+	m.ObserveRound(Stats{Rounds: 1})
+	m.ObserveDone(Stats{Rounds: 1}, true)
+	for i, r := range []*recorder{a, b} {
+		if r.rounds != 1 || r.doneCalls != 1 || !r.terminated {
+			t.Fatalf("observer %d missed fan-out: %+v", i, r)
+		}
+	}
+}
+
+// TestObserverProgressTogether: Progress and Observer coexist at the
+// same round barrier.
+func TestObserverProgressTogether(t *testing.T) {
+	db, err := parser.ParseDatabase(`r(a, b).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := parser.ParseRules(`r(X, Y) -> ∃Z r(Y, Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := 0
+	rec := &recorder{}
+	res := Run(db, rules, Options{
+		MaxAtoms: 30,
+		Progress: func(Stats) { progress++ },
+		Observer: rec,
+	})
+	if progress == 0 || progress != rec.rounds {
+		t.Fatalf("progress=%d observer-rounds=%d; want equal and nonzero", progress, rec.rounds)
+	}
+	if res.Terminated {
+		t.Fatal("expected budgeted run")
+	}
+}

@@ -1,0 +1,133 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetryFlags registers the conventional -metrics / -trace flag pair
+// every tool exposes: each names a file written at exit. Like -stream,
+// both are pure observability — stdout is byte-identical with and
+// without them.
+func TelemetryFlags(fs *flag.FlagSet) (metrics, trace *string) {
+	metrics = fs.String("metrics", "",
+		"write a metrics snapshot to this file at exit (Prometheus text; a .json path selects the JSON rendering)")
+	trace = fs.String("trace", "",
+		"write per-job trace spans (JSON lines) to this file at exit")
+	return metrics, trace
+}
+
+// NewTelemetry builds a tool invocation's telemetry from its flags: nil
+// (instrumentation fully off — the benchmarked fast path) unless some
+// consumer wants it: -stats sources its block from the registry,
+// -metrics writes a snapshot, -trace records job spans. The registry is
+// private to the invocation, so one-shot runs never leak state into
+// each other's files.
+func NewTelemetry(stats bool, metricsPath, tracePath string) *telemetry.Telemetry {
+	if !stats && metricsPath == "" && tracePath == "" {
+		return nil
+	}
+	tel := telemetry.New()
+	if tracePath != "" {
+		tel.Trace = telemetry.NewTraceSink()
+	}
+	return tel
+}
+
+// WriteTelemetry writes the -metrics and -trace files a run asked for.
+// Empty paths are skipped; errors name the file.
+func WriteTelemetry(tel *telemetry.Telemetry, metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		if err := writeMetricsFile(metricsPath, tel.Registry.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if _, err := tel.Trace.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMetricsFile renders the snapshot to path: Prometheus exposition
+// text by default, the JSON rendering when the path ends in ".json".
+func writeMetricsFile(path string, snap *telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// StatsBlock renders the conventional -stats block every tool prints on
+// stderr: the run-level extras first (in the order given — the
+// tool-specific facts a registry does not carry), then every series of
+// the registry snapshot, one aligned "key = value" line each, sorted.
+// Histograms render as their _count and _sum. The block is sourced from
+// the same snapshot -metrics writes, so the two surfaces cannot drift.
+func StatsBlock(w io.Writer, tool string, extras [][2]string, snap *telemetry.Snapshot) {
+	lines := append([][2]string(nil), extras...)
+	if snap != nil {
+		for _, f := range snap.Families {
+			for _, s := range f.Series {
+				key := f.Name
+				if len(s.Values) > 0 {
+					key += "{" + strings.Join(s.Values, ",") + "}"
+				}
+				if s.Hist != nil {
+					lines = append(lines,
+						[2]string{key + "_count", strconv.FormatUint(s.Hist.Count, 10)},
+						[2]string{key + "_sum", formatValue(s.Hist.Sum)})
+					continue
+				}
+				lines = append(lines, [2]string{key, formatValue(s.Value)})
+			}
+		}
+		sort.SliceStable(lines[len(extras):], func(i, j int) bool {
+			return lines[len(extras)+i][0] < lines[len(extras)+j][0]
+		})
+	}
+	width := 0
+	for _, kv := range lines {
+		if len(kv[0]) > width {
+			width = len(kv[0])
+		}
+	}
+	fmt.Fprintf(w, "%s stats:\n", tool)
+	for _, kv := range lines {
+		fmt.Fprintf(w, "  %-*s = %s\n", width, kv[0], kv[1])
+	}
+}
+
+// formatValue renders a metric value the shortest exact way.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

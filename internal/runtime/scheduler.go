@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/logic"
+	"repro/internal/telemetry"
 	"repro/internal/tgds"
 )
 
@@ -104,6 +105,15 @@ type SchedulerConfig struct {
 	// own, so a fleet of jobs sharing Σ pays ontology compilation once
 	// (internal/compile.Cache is the standard implementation).
 	Compiler chase.Compiler
+	// Telemetry, when it carries a registry, turns on the scheduler's
+	// observability: admission/completion counters by lane and tenant,
+	// the queue-depth gauge, the per-lane queue-wait histogram, the
+	// chase round/atom/trigger counters (fed through chase.Options.
+	// Observer on every SubmitChase job), and — when Telemetry.Trace is
+	// set — per-job spans (admit, queue, compile, sampled rounds, run).
+	// Nil disables everything at the cost of one nil check per site;
+	// results are byte-identical either way.
+	Telemetry *telemetry.Telemetry
 }
 
 // Scheduler is the streaming multi-job runtime: a long-lived worker set
@@ -123,6 +133,7 @@ type Scheduler struct {
 	bound    int
 	policy   Backpressure
 	compiler chase.Compiler
+	tel      *schedTelemetry // nil: telemetry off (the benched fast path)
 
 	// The admission queue is a fairQueue (priority lanes, per-tenant
 	// round-robin) guarded by qmu, metered by two token channels sized to
@@ -162,6 +173,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		bound:    cfg.QueueBound,
 		policy:   cfg.Backpressure,
 		compiler: cfg.Compiler,
+		tel:      newSchedTelemetry(cfg.Telemetry),
 		closing:  make(chan struct{}),
 	}
 	if s.bound <= 0 {
@@ -205,6 +217,11 @@ type Ticket struct {
 	done     chan JobResult
 	progress chan chase.Stats
 
+	// enqueued and trace are telemetry state, populated at admission only
+	// when the scheduler carries a Telemetry (and, for trace, a sink).
+	enqueued time.Time
+	trace    *telemetry.JobTrace
+
 	once   sync.Once
 	result JobResult
 }
@@ -231,14 +248,41 @@ func (t *Ticket) Index() int { return t.index }
 // Done is consumed and Wait would block forever.
 func (t *Ticket) Done() <-chan JobResult { return t.done }
 
+// closedProgress is the sentinel stream of jobs that never produce
+// progress events: already closed, so both a range loop and a select
+// receive see an immediately-exhausted stream.
+var closedProgress = func() chan chase.Stats {
+	ch := make(chan chase.Stats)
+	close(ch)
+	return ch
+}()
+
 // Progress returns the round-level progress stream of a chase job
 // submitted through SubmitChase: the engine's statistics at each round
 // boundary, with latest-wins semantics (a slow consumer only ever misses
 // intermediate events, never the stream's tail). The channel is closed
-// when the job finishes, just before the result is delivered. For jobs
-// with no progress stream it returns nil, which blocks forever in a
-// select — exactly the inert behavior a multiplexed consumer wants.
-func (t *Ticket) Progress() <-chan chase.Stats { return t.progress }
+// when the job finishes, just before the result is delivered.
+//
+// Contract for jobs with no progress stream (anything not submitted
+// through SubmitChase): Progress returns a shared, already-closed
+// sentinel channel — never nil. A consumer that selects on Progress()
+// therefore observes an immediately-exhausted stream instead of the
+// forever-blocked select a nil channel would silently produce (the trap
+// earlier revisions documented their way around). Receivers must keep
+// honoring the ok flag: a receive from the sentinel yields (zero Stats,
+// false) right away.
+func (t *Ticket) Progress() <-chan chase.Stats {
+	if t.progress == nil {
+		return closedProgress
+	}
+	return t.progress
+}
+
+// Trace returns the job's trace handle — nil unless the scheduler was
+// configured with a Telemetry carrying a TraceSink. The handle is
+// nil-safe, so callers may record result-egress spans (the service
+// layer's encode span) unconditionally.
+func (t *Ticket) Trace() *telemetry.JobTrace { return t.trace }
 
 // Cancel preempts the job: if it has not started it is skipped and
 // reported as Canceled; if it is running, its context is cancelled and
@@ -257,7 +301,7 @@ func (t *Ticket) Wait() JobResult {
 // Under the Block policy a full queue makes Submit wait; under Reject it
 // returns ErrQueueFull. After Close, Submit returns ErrSchedulerClosed.
 func (s *Scheduler) Submit(j Job) (*Ticket, error) {
-	return s.submit(context.Background(), j, nil)
+	return s.submit(context.Background(), j, nil, nil)
 }
 
 // SubmitIn is Submit with the job's context derived from ctx (in addition
@@ -269,7 +313,7 @@ func (s *Scheduler) Submit(j Job) (*Ticket, error) {
 // ctx.Err() as soon as ctx is cancelled instead of waiting for a slot, so
 // a dead request never leaks a blocked submitter.
 func (s *Scheduler) SubmitIn(ctx context.Context, j Job) (*Ticket, error) {
-	return s.submit(ctx, j, nil)
+	return s.submit(ctx, j, nil, nil)
 }
 
 // SubmitChase admits a ChaseJob wired to the scheduler's Compiler (when
@@ -300,9 +344,17 @@ func (s *Scheduler) SubmitChaseMeta(ctx context.Context, meta JobMeta, name stri
 		}
 		pushLatest(progress, st)
 	}
+	// With telemetry on, attach the metering observer beside any observer
+	// the caller brought; its trace handle is filled in by submit, under
+	// the admission step, before the job can reach a worker.
+	var obs *chaseObserver
+	if s.tel != nil {
+		obs = &chaseObserver{m: s.tel}
+		opts.Observer = chase.MultiObserver(opts.Observer, obs)
+	}
 	j := ChaseJob(name, db, sigma, opts, b, exec)
 	j.Meta = meta
-	return s.submit(ctx, j, progress)
+	return s.submit(ctx, j, progress, obs)
 }
 
 // pushLatest delivers st to a 1-buffered channel with latest-wins
@@ -327,7 +379,28 @@ func pushLatest(ch chan chase.Stats, st chase.Stats) {
 	}
 }
 
-func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats) (*Ticket, error) {
+// admitted instruments one successful admission: the admission counter,
+// the queue-wait start mark, and — when tracing — the ticket's trace
+// with its admit event, shared with the chase observer. It runs before
+// enqueue, so the observer's trace handle is published to the worker
+// goroutine by the enqueue itself.
+func (s *Scheduler) admitted(t *Ticket, obs *chaseObserver) {
+	if s.tel == nil {
+		return
+	}
+	lane, tenant := t.job.Meta.Priority.String(), tenantLabel(t.job.Meta.Tenant)
+	s.tel.admitted.With(lane, tenant).Inc()
+	t.enqueued = time.Now()
+	if s.tel.trace != nil {
+		t.trace = s.tel.trace.Job(t.job.Name, t.index)
+		if obs != nil {
+			obs.trace = t.trace
+		}
+		t.trace.Event("admit", "tenant", tenant, "lane", lane)
+	}
+}
+
+func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats, obs *chaseObserver) (*Ticket, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -356,6 +429,7 @@ func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats
 		s.seq++
 		s.active++
 		s.mu.Unlock()
+		s.admitted(t, obs)
 		s.enqueue(t)
 		return t, nil
 	default:
@@ -372,6 +446,7 @@ func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats
 	// scheduler's closing signal.
 	select {
 	case <-s.slots:
+		s.admitted(t, obs)
 		s.enqueue(t)
 		return t, nil
 	case <-ctx.Done():
@@ -393,6 +468,9 @@ func (s *Scheduler) enqueue(t *Ticket) {
 	s.fair.push(t)
 	s.queued++
 	s.qmu.Unlock()
+	if s.tel != nil {
+		s.tel.queueDepth.Add(1)
+	}
 	s.work <- struct{}{}
 }
 
@@ -424,6 +502,12 @@ func (s *Scheduler) worker() {
 		// Submit can admit. Token conservation (slots held + queued ==
 		// bound) means this send never blocks.
 		s.slots <- struct{}{}
+		if s.tel != nil {
+			s.tel.queueDepth.Add(-1)
+			wait := time.Since(t.enqueued)
+			s.tel.waitHist(t.job.Meta.Priority).Observe(wait.Seconds())
+			t.trace.Span("queue", wait, "lane", t.job.Meta.Priority.String())
+		}
 		s.run(t, sc)
 	}
 }
@@ -460,6 +544,11 @@ func (s *Scheduler) run(t *Ticket, sc *chase.Scratch) {
 		r.TimedOut = t.job.Wall > 0 && jctx.Err() == context.DeadlineExceeded && t.ctx.Err() == nil
 		r.Canceled = r.Err != nil && t.ctx.Err() != nil && errors.Is(r.Err, t.ctx.Err())
 		cancel()
+	}
+	if s.tel != nil {
+		outcome := outcomeOf(r)
+		s.tel.completed.With(outcome).Inc()
+		t.trace.Span("run", r.Wall, "outcome", outcome)
 	}
 	if t.progress != nil {
 		close(t.progress)

@@ -30,6 +30,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/chase"
@@ -38,7 +39,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/logic"
 	rt "repro/internal/runtime"
+	"repro/internal/telemetry"
 	"repro/internal/tgds"
+	"repro/internal/wire"
 )
 
 // Config configures a Service. The zero value serves: GOMAXPROCS
@@ -56,6 +59,13 @@ type Config struct {
 	// Cache is the compilation cache ontologies are registered in and
 	// artifacts served from; nil selects compile.Global().
 	Cache *compile.Cache
+	// Telemetry, when non-nil with a Registry, turns the serving plane's
+	// observability on: request/scheduler/chase metrics feed the
+	// registry, the compile cache and wire codec are bridged into it,
+	// and (when Telemetry.Trace is set) every job records trace spans.
+	// Nil is the default and the benchmarked fast path — no metric is
+	// touched anywhere on the submit or run path.
+	Telemetry *telemetry.Telemetry
 }
 
 // Service is the job-submission layer: a facade over one streaming
@@ -64,6 +74,10 @@ type Config struct {
 type Service struct {
 	sched *rt.Scheduler
 	cache *compile.Cache
+
+	tel       *telemetry.Telemetry
+	stel      *svcTelemetry
+	prevMeter wire.Meter
 }
 
 // New starts a service.
@@ -72,15 +86,19 @@ func New(cfg Config) *Service {
 	if cache == nil {
 		cache = compile.Global()
 	}
-	return &Service{
+	s := &Service{
 		sched: rt.NewScheduler(rt.SchedulerConfig{
 			Workers:      cfg.Workers,
 			QueueBound:   cfg.QueueBound,
 			Backpressure: cfg.Backpressure,
 			Compiler:     cache,
+			Telemetry:    cfg.Telemetry,
 		}),
 		cache: cache,
+		tel:   cfg.Telemetry,
 	}
+	s.stel, s.prevMeter = newSvcTelemetry(cfg.Telemetry, cache)
+	return s
 }
 
 // Cache returns the service's compilation cache (for stats surfaces).
@@ -94,8 +112,14 @@ func (s *Service) ScratchReuses() int64 { return s.sched.ScratchReuses() }
 func (s *Service) Drain() { s.sched.Drain() }
 
 // Close shuts the service down gracefully: admission stops, admitted
-// jobs run to completion, workers exit.
-func (s *Service) Close() { s.sched.Close() }
+// jobs run to completion, workers exit. A telemetry-enabled service
+// also hands the process-wide wire meter back to its predecessor.
+func (s *Service) Close() {
+	s.sched.Close()
+	if s.stel != nil {
+		wire.SetMeter(s.prevMeter)
+	}
+}
 
 // Handle names a registered ontology: the canonical compile fingerprint
 // is the cross-process identity jobs are submitted by.
@@ -201,6 +225,9 @@ func (s *Service) SubmitChase(ctx context.Context, req ChaseRequest) (*Ticket, e
 	if err != nil {
 		return nil, wrapErr(OpChase, name, KindInternal, err)
 	}
+	if s.stel != nil {
+		s.stel.observeRequest(OpChase, req.Meta, req.Ontology)
+	}
 	return &Ticket{op: OpChase, rt: t}, nil
 }
 
@@ -235,6 +262,9 @@ func (s *Service) SubmitDecide(ctx context.Context, req DecideRequest) (*Ticket,
 	t, err := s.sched.SubmitIn(ctx, j)
 	if err != nil {
 		return nil, wrapErr(OpDecide, name, KindInternal, err)
+	}
+	if s.stel != nil {
+		s.stel.observeRequest(OpDecide, req.Meta, req.Ontology)
 	}
 	return &Ticket{op: OpDecide, rt: t}, nil
 }
@@ -320,6 +350,9 @@ func (s *Service) SubmitExperiment(ctx context.Context, req ExperimentRequest) (
 	if err != nil {
 		return nil, wrapErr(OpExperiment, name, KindInternal, err)
 	}
+	if s.stel != nil {
+		s.stel.observeRequest(OpExperiment, req.Meta, OntologyRef{})
+	}
 	return &Ticket{op: OpExperiment, rt: t}, nil
 }
 
@@ -345,14 +378,38 @@ func (t *Ticket) Index() int { return t.rt.Index() }
 func (t *Ticket) Cancel() { t.rt.Cancel() }
 
 // Progress returns the round-level statistics stream of a chase request
-// (latest-wins, closed when the job finishes) and nil for other
-// operations — a nil channel blocks forever in a select, which is the
-// inert behavior a multiplexed consumer wants.
+// (latest-wins, closed when the job finishes). It is never nil: for
+// operations without a stream it returns an already-closed channel, so
+// a consumer ranging over it falls through immediately instead of
+// blocking forever, and a select must honor the ok flag.
 func (t *Ticket) Progress() <-chan chase.Stats { return t.rt.Progress() }
 
 // Wait blocks until the job finishes and returns its typed result;
 // repeated calls return the same result.
 func (t *Ticket) Wait() Result { return resultOf(t.op, t.rt.Wait()) }
+
+// EncodeChase waits for a chase result and encodes its materialized
+// instance as a portable wire snapshot — the reply-path encode of a
+// remote-shaped serving flow. The encode is metered (wire_encode_bytes
+// on a telemetry-enabled service) and, when the job is traced,
+// recorded as the job's terminal "encode" span. The bytes are
+// byte-identical to calling wire.EncodeSnapshot on the result
+// directly.
+func (t *Ticket) EncodeChase() ([]byte, error) {
+	r := t.Wait()
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if r.Chase == nil {
+		return nil, wrapErr(t.op, r.Name, KindBadRequest,
+			fmt.Errorf("encode: %s result carries no instance", t.op))
+	}
+	tr := t.rt.Trace()
+	start := tr.Now()
+	data := wire.EncodeSnapshot(r.Chase.Instance)
+	tr.Span("encode", tr.Now().Sub(start), "bytes", strconv.Itoa(len(data)))
+	return data, nil
+}
 
 // Result is the typed response envelope: exactly one of Chase, Verdict,
 // Table is populated on success (by Op), and Err carries the classified

@@ -54,8 +54,21 @@ func TestTicketSurface(t *testing.T) {
 	if dr.Op != OpDecide || dr.Stats().Atoms != 0 || dr.Derivation() != nil {
 		t.Fatalf("decide result surface: %+v", dr)
 	}
-	if dtk.Progress() != nil {
-		t.Fatal("decide ticket has a progress stream")
+	// A non-chase ticket's Progress is never nil — it is an
+	// already-closed sentinel, so a consumer ranging over it (or
+	// selecting on it) falls through immediately instead of blocking
+	// forever on a nil channel.
+	ch := dtk.Progress()
+	if ch == nil {
+		t.Fatal("decide ticket Progress() returned nil")
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("non-chase progress stream delivered a value")
+		}
+	default:
+		t.Fatal("non-chase progress stream blocks; want an already-closed channel")
 	}
 }
 

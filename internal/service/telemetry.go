@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// svcTelemetry holds the service layer's pre-resolved metric handles.
+// Like the scheduler's, it is nil when Config.Telemetry carries no
+// registry, and every instrumentation site guards on that — the
+// disabled service adds nothing but nil checks to the submit path.
+type svcTelemetry struct {
+	requests *telemetry.CounterVec // service_requests_total{op,lane,tenant}
+	byOnt    *telemetry.CounterVec // service_requests_by_ontology_total{ontology}
+}
+
+// newSvcTelemetry wires the service families into tel's registry and
+// bridges the subsystems that keep their own counters: the compile
+// cache (published via a snapshot collector) and the wire codec (via
+// its process-wide Meter seam). It returns the installed wire meter's
+// predecessor so Close can restore it.
+func newSvcTelemetry(tel *telemetry.Telemetry, cache *compile.Cache) (*svcTelemetry, wire.Meter) {
+	if !tel.Enabled() {
+		return nil, nil
+	}
+	r := tel.Registry
+	m := &svcTelemetry{
+		requests: r.CounterVec("service_requests_total",
+			"Requests admitted through the service surface, by operation, priority lane, and tenant.",
+			"op", "lane", "tenant"),
+		byOnt: r.CounterVec("service_requests_by_ontology_total",
+			"Requests by ontology fingerprint prefix (inline = ontology attached to the request).",
+			"ontology"),
+	}
+	registerCacheCollector(r, cache)
+	prev := wire.SetMeter(&wireMeter{
+		encoded: r.Counter("wire_encode_bytes",
+			"Bytes produced by wire snapshot/delta encodes."),
+		decoded: r.Counter("wire_decode_bytes",
+			"Bytes consumed by successful wire snapshot/delta decodes."),
+	})
+	return m, prev
+}
+
+// observeRequest bills one admitted request. The ontology label is the
+// fingerprint's first 8 hex digits — low-cardinality under the family
+// cap, yet enough to tell fleets apart — "inline" when the request
+// carries Σ itself, "none" for ontology-less requests (experiments).
+func (m *svcTelemetry) observeRequest(op Op, meta RequestMeta, ref OntologyRef) {
+	tenant := meta.Tenant
+	if tenant == "" {
+		tenant = "anon"
+	}
+	m.requests.With(op.String(), meta.Priority.String(), tenant).Inc()
+	ont := "none"
+	switch {
+	case ref.Set != nil:
+		ont = "inline"
+	case ref.Fingerprint != (compile.Fingerprint{}):
+		ont = hex.EncodeToString(ref.Fingerprint[:4])
+	}
+	m.byOnt.With(ont).Inc()
+}
+
+// registerCacheCollector publishes the compile cache's own counters
+// through the registry: a Snapshot-time collector converts the cache's
+// cumulative Stats into counter deltas (hits, misses, evictions) and
+// gauge levels (bytes, entries). The collector keeps its last-seen
+// cursor under a lock so concurrent snapshots never double-bill.
+func registerCacheCollector(r *telemetry.Registry, cache *compile.Cache) {
+	hits := r.Counter("compile_cache_hits",
+		"Compilation cache artifact hits.")
+	misses := r.Counter("compile_cache_misses",
+		"Compilation cache artifact misses (first build of an artifact).")
+	evictions := r.Counter("compile_cache_evictions",
+		"Compilation cache entries evicted (LRU or byte-budget pressure).")
+	bytes := r.Gauge("compile_cache_bytes",
+		"Approximate bytes held by cached compilation artifacts.")
+	entries := r.Gauge("compile_cache_entries",
+		"Ontology entries resident in the compilation cache.")
+	var (
+		mu   sync.Mutex
+		prev compile.Stats
+	)
+	r.AddCollector(func() {
+		st := cache.Stats()
+		mu.Lock()
+		hits.Add(monotone(st.Hits, prev.Hits))
+		misses.Add(monotone(st.Misses, prev.Misses))
+		evictions.Add(monotone(st.Evictions, prev.Evictions))
+		prev = st
+		mu.Unlock()
+		bytes.Set(st.Bytes)
+		entries.Set(int64(st.Entries))
+	})
+}
+
+// monotone is cur-prev clamped at zero, so a reset cache never
+// underflows the published counters.
+func monotone(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
+// wireMeter adapts the codec's Meter seam onto two registry counters.
+type wireMeter struct {
+	encoded *telemetry.Counter
+	decoded *telemetry.Counter
+}
+
+func (m *wireMeter) WireEncoded(n int) { m.encoded.Add(uint64(n)) }
+func (m *wireMeter) WireDecoded(n int) { m.decoded.Add(uint64(n)) }
+
+// Metrics snapshots the service's registry — the programmatic face of
+// the /metrics endpoint. It returns nil when the service was built
+// without telemetry.
+func (s *Service) Metrics() *telemetry.Snapshot {
+	if !s.tel.Enabled() {
+		return nil
+	}
+	return s.tel.Registry.Snapshot()
+}
+
+// Telemetry returns the service's telemetry (nil when disabled) — the
+// registry and trace sink the front end wired in via Config.
+func (s *Service) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// Handler returns the service's serving-plane health surface — the
+// telemetry HTTP handler (GET /healthz, /metrics, /metrics.json)
+// backed by this service's registry, with live scheduler and cache
+// health fields — or nil when the service was built without telemetry.
+func (s *Service) Handler() http.Handler {
+	if !s.tel.Enabled() {
+		return nil
+	}
+	return telemetry.Handler(s.tel.Registry, func() map[string]string {
+		return map[string]string{
+			"workers":       strconv.Itoa(s.sched.Workers()),
+			"queue_bound":   strconv.Itoa(s.sched.QueueBound()),
+			"queue_len":     strconv.Itoa(s.sched.QueueLen()),
+			"cache_entries": strconv.Itoa(s.cache.Len()),
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Handler exposes a registry over HTTP — the serving-plane health
+// surface, and the first piece of the future cmd/chased worker binary:
+//
+//	GET /healthz      — liveness JSON: {"status": "ok", ...health()}
+//	GET /metrics      — Prometheus text exposition
+//	GET /metrics.json — expvar-style JSON exposition
+//
+// health, when non-nil, contributes extra healthz fields (queue depth,
+// worker count, cache entries); its keys are rendered sorted, so the
+// payload is deterministic for a quiesced process. Everything is
+// computed per request from a fresh Snapshot — the handler holds no
+// state beyond the registry reference.
+func Handler(r *Registry, health func() map[string]string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if !methodOK(w, req) {
+			return
+		}
+		fields := map[string]string{}
+		if health != nil {
+			for k, v := range health() {
+				fields[k] = v
+			}
+		}
+		keys := make([]string, 0, len(fields))
+		for k := range fields {
+			if k != "status" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString(`{"status": "ok"`)
+		for _, k := range keys {
+			b.WriteString(", ")
+			b.WriteString(jsonString(k))
+			b.WriteString(": ")
+			b.WriteString(jsonString(fields[k]))
+		}
+		b.WriteString("}\n")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if !methodOK(w, req) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		if !methodOK(w, req) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+func methodOK(w http.ResponseWriter, req *http.Request) bool {
+	if req.Method == http.MethodGet || req.Method == http.MethodHead {
+		return true
+	}
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests").Add(2)
+	h := Handler(r, func() map[string]string {
+		// A health callback trying to smuggle its own "status" is
+		// ignored; other keys render sorted.
+		return map[string]string{"workers": "4", "queue_len": "0", "status": "hacked"}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/healthz")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("healthz: %d %q", code, ctype)
+	}
+	if body != `{"status": "ok", "queue_len": "0", "workers": "4"}`+"\n" {
+		t.Fatalf("healthz body: %q", body)
+	}
+
+	code, body, ctype = get("/metrics")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("metrics: %d %q", code, ctype)
+	}
+	if !strings.Contains(body, "reqs_total 2") {
+		t.Fatalf("metrics body: %q", body)
+	}
+
+	code, body, ctype = get("/metrics.json")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("metrics.json: %d %q", code, ctype)
+	}
+	if !strings.Contains(body, `"reqs_total": 2`) {
+		t.Fatalf("metrics.json body: %q", body)
+	}
+
+	// Non-GET/HEAD is rejected on every endpoint.
+	for _, path := range []string{"/healthz", "/metrics", "/metrics.json"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: %d, want 405", path, resp.StatusCode)
+		}
+	}
+
+	// HEAD is allowed.
+	resp, err := http.Head(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("HEAD /metrics: %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerNilHealth(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != `{"status": "ok"}`+"\n" {
+		t.Fatalf("healthz body: %q", body)
+	}
+}

@@ -1,0 +1,46 @@
+package wire
+
+import "sync/atomic"
+
+// Meter is the codec's observability seam: a process-wide listener that
+// sees the byte size of every snapshot/delta encode and decode. The
+// codec stays telemetry-agnostic — the interface is defined here so
+// this package imports nothing, and internal/service installs an
+// adapter that feeds wire_encode_bytes / wire_decode_bytes in its
+// telemetry registry. Implementations must be safe for concurrent use;
+// metering observes sizes only and never alters the encoding (the
+// fuzz-pinned byte identity of the codec is unaffected).
+type Meter interface {
+	// WireEncoded observes one finished encode of n bytes.
+	WireEncoded(n int)
+	// WireDecoded observes one successfully decoded section of n bytes.
+	WireDecoded(n int)
+}
+
+// meter holds the installed Meter; the disabled path is one atomic load
+// and a nil check per codec call.
+var meter atomic.Pointer[Meter]
+
+// SetMeter installs (or, with nil, removes) the process-wide codec
+// meter and returns the previous one, so a caller owning a scoped
+// registry can restore its predecessor. Last install wins when several
+// serving layers race; the scheduler/service wiring installs at most
+// one per process in practice.
+func SetMeter(m Meter) (prev Meter) {
+	var p *Meter
+	if m != nil {
+		p = &m
+	}
+	if old := meter.Swap(p); old != nil {
+		prev = *old
+	}
+	return prev
+}
+
+// metered reports the installed meter, nil when metering is off.
+func metered() Meter {
+	if p := meter.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

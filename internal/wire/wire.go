@@ -118,6 +118,9 @@ func EncodeSnapshot(in *logic.Instance) []byte {
 	e := &encoder{buf: make([]byte, 0, 64+16*in.Len())}
 	e.header(kindSnapshot)
 	e.atoms(in.Atoms())
+	if m := metered(); m != nil {
+		m.WireEncoded(len(e.buf))
+	}
 	return e.buf
 }
 
@@ -136,6 +139,9 @@ func EncodeDelta(in *logic.Instance, from int) []byte {
 	e.header(kindDelta)
 	e.uint(uint64(from))
 	e.atoms(all[from:])
+	if m := metered(); m != nil {
+		m.WireEncoded(len(e.buf))
+	}
 	return e.buf
 }
 
@@ -259,6 +265,9 @@ func (d *Decoder) Snapshot(data []byte) (*logic.Instance, error) {
 	if err := d.section(r, in); err != nil {
 		return nil, err
 	}
+	if m := metered(); m != nil {
+		m.WireDecoded(len(data))
+	}
 	d.inst = in
 	return in, nil
 }
@@ -284,6 +293,9 @@ func (d *Decoder) Apply(data []byte) (int, error) {
 	before := d.inst.Len()
 	if err := d.section(r, d.inst); err != nil {
 		return 0, err
+	}
+	if m := metered(); m != nil {
+		m.WireDecoded(len(data))
 	}
 	return d.inst.Len() - before, nil
 }
