@@ -6,7 +6,8 @@
 //
 //	chase -data db.dlgp -rules onto.dlgp [-engine semi|oblivious|restricted]
 //	      [-max-atoms N] [-workers N] [-stats] [-quiet] [-stream]
-//	      [-metrics FILE] [-trace FILE]
+//	      [-metrics FILE] [-trace FILE] [-checkpoint FILE]
+//	chase -resume cp.bin -program delta.dlgp [-checkpoint FILE] [...]
 //	chase -request req.json [-workers N] [-stats] [-quiet] [-stream]
 //
 // Facts and rules may also live in a single file passed via -program, or
@@ -32,6 +33,15 @@
 // budget-truncated run always ends its stdout with a
 // deterministic "% truncated" comment line (a dlgp comment, so -format
 // dlgp output stays re-parseable).
+//
+// With -checkpoint, the run captures resumable state and its encoded
+// checkpoint artifact (internal/checkpoint) is written to FILE at exit.
+// A later invocation continues it with -resume: the input's facts are
+// the base-data delta (only their consequences are chased), its rules
+// must match the checkpointed ontology exactly, and the chase variant is
+// pinned by the artifact (-engine does not apply). -resume composes with
+// -checkpoint (the resumed run emits a second-generation artifact) and
+// with -request via a "resume"-kind request file.
 package main
 
 import (
@@ -66,6 +76,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print run statistics")
 		quiet     = fs.Bool("quiet", false, "suppress the result instance")
 		format    = fs.String("format", "pretty", "output format: pretty (⊥ nulls) or dlgp (re-parseable, frozen nulls)")
+		cpOut     = fs.String("checkpoint", "", "write the run's resumable checkpoint artifact to `file`")
+		resume    = fs.String("resume", "", "resume from a checkpoint artifact `file`; the input's facts are the base-data delta")
 		request   = cli.RequestFlag(fs)
 		workers   = cli.WorkersFlag(fs)
 		stream    = cli.StreamFlag(fs)
@@ -89,20 +101,55 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	// Assemble the request envelope: from the request file (which then
-	// owns inputs, engine, and budgets) or from the input flags.
-	var req service.ChaseRequest
-	if *request != "" {
+	// Assemble the request envelope — a chase or (with -resume, or a
+	// "resume"-kind request file) an incremental re-chase continuing a
+	// checkpoint artifact — from the request file (which then owns
+	// inputs, engine, and budgets) or from the input flags.
+	var (
+		req         service.ChaseRequest
+		delta       service.DeltaRequest
+		isResume    bool
+		engineLabel string
+	)
+	switch {
+	case *request != "":
 		f, err := service.LoadRequestFile(*request)
 		if err != nil {
 			fmt.Fprintln(stderr, "chase:", err)
 			return 2
 		}
-		if req, err = f.ChaseRequest(); err != nil {
+		if f.Kind == "resume" {
+			isResume = true
+			if delta, err = f.DeltaRequest(); err != nil {
+				fmt.Fprintln(stderr, "chase:", err)
+				return 2
+			}
+		} else if req, err = f.ChaseRequest(); err != nil {
 			fmt.Fprintln(stderr, "chase:", err)
 			return 2
 		}
-	} else {
+	case *resume != "":
+		isResume = true
+		artifact, err := os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+		// The input's facts are the base-data delta; its rules pin Σ,
+		// which must match the checkpointed ontology exactly. The chase
+		// variant is the checkpoint's — -engine does not apply here.
+		db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
+		if err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+		delta = service.DeltaRequest{
+			Checkpoint: artifact,
+			Ontology:   service.OntologyRef{Set: rules},
+			Delta:      db.Atoms(),
+			MaxAtoms:   *maxAtoms,
+		}
+	default:
 		db, rules, err := cli.LoadInput(*dataPath, *rulesPath, *program)
 		if err != nil {
 			fmt.Fprintln(stderr, "chase:", err)
@@ -120,13 +167,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			MaxAtoms: *maxAtoms,
 		}
 	}
-	if req.MaxAtoms == 0 {
-		// A request file without a budget inherits the flag's cap (and
-		// its 1e6 default), so a filed chase of a non-terminating
-		// ontology is never accidentally unbounded.
-		req.MaxAtoms = *maxAtoms
+	if isResume {
+		if delta.MaxAtoms == 0 {
+			delta.MaxAtoms = *maxAtoms
+		}
+		delta.Workers = cli.Workers(*workers)
+		// -checkpoint on a resume chains: the resumed run captures
+		// resumable state of its own and emits a second-generation
+		// artifact.
+		delta.Chain = delta.Chain || *cpOut != ""
+		engineLabel = "resume"
+	} else {
+		if req.MaxAtoms == 0 {
+			// A request file without a budget inherits the flag's cap (and
+			// its 1e6 default), so a filed chase of a non-terminating
+			// ontology is never accidentally unbounded.
+			req.MaxAtoms = *maxAtoms
+		}
+		req.Workers = cli.Workers(*workers)
+		req.Checkpoint = req.Checkpoint || *cpOut != ""
+		engineLabel = fmt.Sprint(req.Variant)
 	}
-	req.Workers = cli.Workers(*workers)
 
 	// One-shot service over the process-wide compilation cache: submit
 	// the envelope, await (or stream) the ticket. Telemetry is built only
@@ -135,7 +196,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	tel := cli.NewTelemetry(*stats, *metricsPath, *tracePath)
 	svc := service.New(service.Config{Workers: 1, QueueBound: 1, Telemetry: tel})
 	defer svc.Close()
-	ticket, err := svc.SubmitChase(context.Background(), req)
+	var ticket *service.Ticket
+	if isResume {
+		ticket, err = svc.SubmitDelta(context.Background(), delta)
+	} else {
+		ticket, err = svc.SubmitChase(context.Background(), req)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "chase:", err)
 		return 2
@@ -175,10 +241,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%% truncated: budget exhausted after %d atoms in %d rounds; the chase may be infinite\n",
 			res.Instance.Len(), res.Stats.Rounds)
 	}
+	if *cpOut != "" {
+		// The artifact is encoded off the finished ticket ("checkpoint"
+		// trace span on a traced run) and written at exit; a run that
+		// captured no resumable state (a dirty budget cut) is CLI
+		// misuse of -checkpoint, diagnosed on stderr.
+		data, err := ticket.EncodeCheckpoint()
+		if err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+		if err := os.WriteFile(*cpOut, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "chase:", err)
+			return 2
+		}
+	}
 	if *stats {
 		s := res.Stats
 		cli.StatsBlock(stderr, "chase", [][2]string{
-			{"engine", fmt.Sprint(req.Variant)},
+			{"engine", engineLabel},
 			{"atoms", fmt.Sprint(s.Atoms)},
 			{"initial-atoms", fmt.Sprint(s.InitialAtoms)},
 			{"rounds", fmt.Sprint(s.Rounds)},

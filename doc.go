@@ -90,6 +90,25 @@
 // FuzzFingerprint, and pinned end to end by the cmd golden tests);
 // chase.Stats reports per-run cache hits and misses.
 //
+// Incremental re-chase (internal/checkpoint) makes a finished run a
+// first-class serving artifact: Capture wraps a chase that ran with
+// Options.Checkpoint into a Checkpoint (instance + fired-trigger set +
+// null high-water mark + semi-naive delta window), Encode serializes it
+// portably (an embedded wire snapshot plus a fired-key term manifest in
+// the wire codec's tag vocabulary, sealed by a checksum; Decode is
+// bounds-checked and fuzzed — hostile bytes fail typed, never panic),
+// and Resume continues the semi-naive iteration with new base atoms
+// landing in the resumed round's delta window, so only the delta's
+// consequences are derived. The artifact carries the ontology's compile
+// fingerprint (service.DeltaRequest resolves Σ through the registry by
+// it when none is attached) and an exact clause-sequence digest (fired
+// keys embed clause positions, so a resume demands Σ verbatim —
+// checkpoint.ErrMismatch otherwise). A differential harness pins resume
+// ≡ full re-chase across every example scenario, variant, and worker
+// count, with checkpoints cut at every intermediate round; the CLI
+// surface is chase -checkpoint/-resume, and scheduler-level resume jobs
+// trace a terminal "resume" span.
+//
 // Observability (internal/telemetry) is a zero-dependency layer over the
 // serving plane: an atomic metrics Registry (counters, gauges,
 // fixed-bucket histograms, capped label vectors), a deterministic

@@ -112,6 +112,16 @@ type Options struct {
 	// way. A set that fails the CompiledSet.Matches safety check is
 	// discarded (counted as a miss) and the run compiles cold.
 	Compile Compiler
+	// Checkpoint requests that the run's resumable state — the fired-
+	// trigger set, the null factory's high-water mark, and the unprocessed
+	// delta window — be captured into Result.Resume when the run ends at a
+	// clean round boundary (terminated, MaxRounds, or an interrupt between
+	// rounds). A run stopped mid-round (the MaxAtoms break inside the
+	// apply phase, an interrupt inside collect or apply) has triggers
+	// interned but never applied, so no state is captured and
+	// Result.Resume stays nil. Off by default: capture copies the fired
+	// set out of the (possibly pooled) scratch.
+	Checkpoint bool
 }
 
 // Stats aggregates counters of a run.
@@ -152,6 +162,14 @@ type Result struct {
 	Forest *Forest
 	// Derivation is non-nil when Options.RecordDerivation was set.
 	Derivation *Derivation
+	// Resume is the run's captured resumable state: non-nil exactly when
+	// Options.Checkpoint was set and the run ended at a clean round
+	// boundary (see Options.Checkpoint). internal/checkpoint persists it.
+	Resume *ResumeState
+
+	// nulls is the run's own factory — the nulls it invented, with their
+	// naming tuples — retained for NullNames.
+	nulls *logic.NullFactory
 }
 
 // MaxDepth returns maxdepth(D, Σ) for the constructed prefix.
@@ -160,22 +178,31 @@ func (r *Result) MaxDepth() int { return r.Stats.MaxDepth }
 // Run chases the database db with the TGD set sigma under the given
 // options and returns the result. The input instance is not modified.
 func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
+	// Number invented nulls after the input's own nulls, so chasing
+	// an instance that already contains nulls (a decoded wire
+	// snapshot, a previous chase result) never reuses a
+	// factory-local id — and hence a Key — an input null carries.
+	e := newEngine(db.Clone(), sigma, opts, db.MaxNullID()+1)
+	return e.finish()
+}
+
+// newEngine readies an engine over inst (which the engine owns and
+// mutates) with nulls numbered from nullBase. Both Run and Resume build
+// through it, so compile fetching, forest rooting, and derivation
+// recording behave identically on the two paths.
+func newEngine(inst *logic.Instance, sigma *tgds.Set, opts Options, nullBase int) *engine {
 	sc := opts.Scratch
 	if sc == nil {
 		sc = NewScratch()
 	}
 	sc.begin()
 	e := &engine{
-		sigma: sigma,
-		opts:  opts,
-		inst:  db.Clone(),
-		// Number invented nulls after the input's own nulls, so chasing
-		// an instance that already contains nulls (a decoded wire
-		// snapshot, a previous chase result) never reuses a
-		// factory-local id — and hence a Key — an input null carries.
-		nulls:   logic.NewNullFactoryAt(db.MaxNullID() + 1),
+		sigma:   sigma,
+		opts:    opts,
+		inst:    inst,
+		nulls:   logic.NewNullFactoryAt(nullBase),
 		sc:      sc,
-		initial: db.Len(),
+		initial: inst.Len(),
 	}
 	if opts.Compile != nil {
 		cs, hit := opts.Compile.CompiledChase(sigma)
@@ -196,13 +223,21 @@ func Run(db *logic.Instance, sigma *tgds.Set, opts Options) *Result {
 		e.forest = newForest(e.inst.Atoms())
 	}
 	if opts.RecordDerivation {
-		e.derivation = &Derivation{Initial: db.Clone()}
+		e.derivation = &Derivation{Initial: inst.Clone()}
 	}
+	return e
+}
+
+// finish saturates the engine's instance and assembles the result.
+func (e *engine) finish() *Result {
 	terminated := e.run()
-	res := &Result{Instance: e.inst, Terminated: terminated, Forest: e.forest, Derivation: e.derivation}
+	res := &Result{Instance: e.inst, Terminated: terminated, Forest: e.forest, Derivation: e.derivation, nulls: e.nulls}
 	res.Stats = e.stats()
-	if opts.Observer != nil {
-		opts.Observer.ObserveDone(res.Stats, terminated)
+	if e.opts.Checkpoint && !e.dirty {
+		res.Resume = e.captureResume()
+	}
+	if e.opts.Observer != nil {
+		e.opts.Observer.ObserveDone(res.Stats, terminated)
 	}
 	return res
 }
@@ -261,6 +296,21 @@ type engine struct {
 	prevCands int
 	stop      bool        // set once Options.Interrupt fires
 	parStop   atomic.Bool // interrupt verdict shared with collect workers
+
+	// delta is where the current semi-naive window begins: 0 for a fresh
+	// run, the checkpoint's recorded window start for a resumed one. run
+	// advances it each round; at a clean exit it marks where an unseen
+	// suffix (if any) starts, which is what checkpoint capture records.
+	delta int
+	// resumed disables the first round's full enumeration: a resumed run's
+	// round 1 is a semi-naive continuation over [delta, len), not a fresh
+	// start.
+	resumed bool
+	// dirty records a mid-round stop (MaxAtoms break or interrupt inside
+	// collect/apply): triggers were interned into the fired set but their
+	// atoms never applied, so the state is not a whole-round prefix and
+	// must not be checkpointed.
+	dirty bool
 }
 
 // interrupted polls Options.Interrupt and latches the result.
@@ -291,7 +341,6 @@ func (e *engine) stats() Stats {
 // Executor's workers) only reads the instance, and the subsequent apply
 // phase mutates it from this goroutine alone.
 func (e *engine) run() bool {
-	deltaStart := 0
 	for {
 		if e.interrupted() {
 			return false
@@ -300,13 +349,16 @@ func (e *engine) run() bool {
 			return false
 		}
 		e.rounds++
-		pending := e.collect(deltaStart)
+		pending := e.collect(e.delta)
 		if e.stop {
 			// Interrupted mid-collection: discard the partial round so the
-			// result is a whole-round prefix of the derivation.
+			// result is a whole-round prefix of the derivation. The fired
+			// set already holds part of the round's keys, so the state is
+			// not resumable.
+			e.dirty = true
 			return false
 		}
-		deltaStart = e.inst.Len()
+		e.delta = e.inst.Len()
 		added := e.apply(pending)
 		// The round's trigger tuples (fire keys, frontier images) are dead
 		// once applied: recycle their slab blocks for the next round.
@@ -342,7 +394,11 @@ func (e *engine) run() bool {
 // substitution or building a string key.
 func (e *engine) collect(deltaStart int) []pendingTrigger {
 	ds := deltaStart
-	if e.rounds == 1 || e.opts.NoSemiNaive {
+	if (e.rounds == 1 && !e.resumed) || e.opts.NoSemiNaive {
+		// A fresh run's first round enumerates the whole instance; a
+		// resumed run's first round is a semi-naive continuation over the
+		// checkpoint's recorded window (the fired set already covers every
+		// homomorphism older rounds considered).
 		ds = -1
 	}
 	if e.opts.Executor != nil && e.opts.Executor.Workers() > 1 && !e.opts.NoSemiNaive {
@@ -436,9 +492,14 @@ func (e *engine) apply(pending []pendingTrigger) int {
 	added := 0
 	for pi, p := range pending {
 		if e.opts.MaxAtoms > 0 && e.inst.Len() > e.opts.MaxAtoms {
+			// Triggers pending[pi:] stay interned in the fired set but
+			// never fire: the round is cut mid-way, so the state is not a
+			// whole-round prefix and cannot be checkpointed.
+			e.dirty = true
 			break
 		}
 		if e.opts.Interrupt != nil && pi&255 == 255 && e.interrupted() {
+			e.dirty = true
 			break
 		}
 		if e.opts.Variant == Restricted && e.headSatisfied(p) {

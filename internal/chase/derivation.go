@@ -113,18 +113,27 @@ func (d *Derivation) Validate(sigma *tgds.Set, final *logic.Instance, terminated
 		return fmt.Errorf("chase: replay yields %d atoms, final has %d", inst.Len(), final.Len())
 	}
 	if terminated {
-		// No active trigger may remain: for every homomorphism of every
-		// body, the canonical result must already be present. The replay
-		// factory makes null naming globally consistent, so membership is
-		// exact.
+		// No active trigger may remain — the finite case of Definition 3.2
+		// is I ⊨ Σ. The fast path checks the canonical result (the replay
+		// factory makes null naming globally consistent for nulls this
+		// derivation minted); when that misses, the trigger may still be
+		// satisfied by nulls that predate the derivation — a resumed run's
+		// Initial instance carries the checkpointed generation's nulls,
+		// which no replay step renames — so the definition's actual
+		// condition is checked: some extension of the frontier assignment
+		// makes every head atom present.
 		for _, t := range sigma.TGDs {
 			t := t
 			var active error
 			logic.MatchAll(t.Body, inst, -1, func(h logic.Substitution) bool {
-				for _, a := range resultOf(t, h.Restrict(t.Frontier())) {
+				fr := h.Restrict(t.Frontier())
+				for _, a := range resultOf(t, fr) {
 					if !inst.Has(a) {
-						active = fmt.Errorf("chase: active trigger remains: σ%d with %v misses %v", t.ID, h, a)
-						return false
+						if logic.ExtendOne(t.Head, inst, fr) == nil {
+							active = fmt.Errorf("chase: active trigger remains: σ%d with %v misses %v", t.ID, h, a)
+							return false
+						}
+						break
 					}
 				}
 				return true

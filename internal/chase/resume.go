@@ -1,0 +1,214 @@
+package chase
+
+// Incremental re-chase: a finished run's resumable state (ResumeState)
+// and the Resume entry point that continues semi-naive iteration from it
+// after a base-data delta, instead of re-chasing from scratch.
+//
+// The state a resumed run needs is exactly three things the engine
+// already maintains: the fired-trigger set (so old triggers are not
+// re-fired — for the semi-oblivious and oblivious chases that is what
+// makes the result agree with the full re-chase, and for the restricted
+// chase what keeps the derivation fair), the null factory's high-water
+// mark (so new nulls never reuse a factory-local id, and hence a Key, a
+// checkpointed null carries — the NewNullFactoryAt discipline), and the
+// instance length where the last unprocessed semi-naive window begins
+// (so a checkpoint taken mid-saturation continues with the window its
+// next round would have used). The delta atoms a caller injects land
+// after the checkpointed atoms in insertion order, so they fall inside
+// the resumed first round's window automatically.
+//
+// Equivalence contract, verified by internal/checkpoint's differential
+// suite: resuming with an empty delta reproduces the original final
+// instance byte-identically (same insertion order, same CanonicalKey,
+// same null ids); resuming after a delta agrees with the full re-chase
+// of the merged database up to canonical null naming (NullNames /
+// CanonicalForm) for the order-insensitive variants, and up to
+// homomorphic equivalence for the restricted chase, whose firing is
+// order-sensitive.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/tgds"
+)
+
+// ResumeState is the engine-level resumable state of a run that ended at
+// a clean round boundary (Options.Checkpoint). It is process-local: the
+// ids inside Fired are interned symbol ids of this process's symbol
+// table. internal/checkpoint owns the portable, wire-encodable form.
+type ResumeState struct {
+	// Fired holds the run's fired-trigger keys — the interned
+	// (TGD index, key-variable image ids) tuples — in interning order,
+	// copied out of the run's scratch (they survive scratch reuse).
+	Fired [][]int32
+	// NextNullID is the run's null-factory high-water mark: the first
+	// factory-local id a resumed run may assign. It can exceed the
+	// largest null id in the instance — a trigger whose atoms were all
+	// duplicates still interned its nulls.
+	NextNullID int
+	// DeltaStart is the instance length at which the run's unprocessed
+	// semi-naive window begins: the run's final length when it
+	// terminated (empty window), the start of the last round's additions
+	// when it stopped on MaxRounds.
+	DeltaStart int
+	// Variant is the run's chase variant. Fired keys are
+	// variant-specific (frontier images vs full homomorphism), so a
+	// resume must use the same variant.
+	Variant Variant
+}
+
+// captureResume copies the resumable state out of the engine before its
+// (possibly pooled) scratch is recycled. Caller guarantees a clean round
+// boundary (!e.dirty).
+func (e *engine) captureResume() *ResumeState {
+	st := &ResumeState{
+		NextNullID: e.nulls.NextID(),
+		DeltaStart: e.delta,
+		Variant:    e.opts.Variant,
+	}
+	total := 0
+	e.sc.fired.Each(func(t []int32) { total += len(t) })
+	buf := make([]int32, 0, total)
+	st.Fired = make([][]int32, 0, e.sc.fired.Len())
+	e.sc.fired.Each(func(t []int32) {
+		start := len(buf)
+		buf = append(buf, t...)
+		st.Fired = append(st.Fired, buf[start:len(buf):len(buf)])
+	})
+	return st
+}
+
+// Resume continues a chase from a captured ResumeState: base is the
+// checkpointed instance, delta the base-data atoms added since (they are
+// appended to a clone of base, so they land inside the resumed first
+// round's semi-naive window). The fired-trigger set is re-seeded from
+// st, new nulls are numbered from st.NextNullID (or above the delta's
+// own nulls, whichever is higher — delta atoms carrying null ids that
+// collide with checkpointed ones can never capture an invented id), and
+// iteration proceeds exactly as Run's would have: budgets, executor,
+// scratch pooling, compile cache, forest and derivation tracking all
+// apply unchanged. Stats count the resumed rounds only.
+//
+// opts.Variant must equal st.Variant — fired keys mean different things
+// per variant — and a resumed run may itself set Options.Checkpoint,
+// chaining checkpoints. The inputs are not modified.
+func Resume(base *logic.Instance, delta []*logic.Atom, sigma *tgds.Set, st *ResumeState, opts Options) (*Result, error) {
+	if st == nil {
+		return nil, fmt.Errorf("chase: resume without a resume state")
+	}
+	if opts.Variant != st.Variant {
+		return nil, fmt.Errorf("chase: resume under the %v chase, state captured from the %v chase", opts.Variant, st.Variant)
+	}
+	if st.DeltaStart < 0 || st.DeltaStart > base.Len() {
+		return nil, fmt.Errorf("chase: resume window starts at %d, instance holds %d atoms", st.DeltaStart, base.Len())
+	}
+	inst := base.Clone()
+	for _, a := range delta {
+		inst.Add(a)
+	}
+	e := newEngine(inst, sigma, opts, max(st.NextNullID, inst.MaxNullID()+1))
+	e.resumed = true
+	e.delta = st.DeltaStart
+	for _, t := range st.Fired {
+		e.sc.fired.Intern(t)
+	}
+	return e.finish(), nil
+}
+
+// NullNames assigns every null this run invented its canonical,
+// run-independent name: the paper's ⊥^z_{σ, h|fr} identity, rendered by
+// expanding the null's interning tuple (TGD index, existential index,
+// key-variable image ids) with constants under their keys and earlier
+// nulls under their own canonical names. Two runs that fire the same
+// triggers in any order assign the same names, which is what lets the
+// differential suite compare a resumed chase against a full re-chase
+// whose factory-local null ids differ.
+//
+// base carries the names of nulls that predate this run (the checkpointed
+// run's names, for a resumed result); the returned map extends it. Nulls
+// in the run's input that appear in no map render under their factory
+// Key, so callers comparing two results must thread base maps for every
+// ancestor run.
+type NullNames map[int32]string
+
+// NullNames computes the canonical names of the run's invented nulls,
+// extending base (which may be nil). Keys are interned symbol ids
+// (logic.IDOf of the null).
+func (r *Result) NullNames(base NullNames) NullNames {
+	out := make(NullNames, len(base)+16)
+	for id, name := range base {
+		out[id] = name
+	}
+	if r.nulls == nil {
+		return out
+	}
+	// Creation order means a null's key-image nulls (strictly older) are
+	// already named when it is visited — within this run via out, across
+	// runs via base.
+	r.nulls.EachTupleNull(func(n *logic.Null, tuple []int32) {
+		out[logic.IDOf(n)] = canonicalNullName(tuple, out)
+	})
+	return out
+}
+
+// canonicalNullName renders one interning tuple. tuple[0] is the TGD
+// index, tuple[1] the existential index, the rest key-variable image ids.
+func canonicalNullName(tuple []int32, names NullNames) string {
+	var b strings.Builder
+	b.WriteString("⊥{")
+	b.WriteString(strconv.Itoa(int(tuple[0])))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(tuple[1])))
+	for _, id := range tuple[2:] {
+		b.WriteByte('|')
+		switch {
+		case names[id] != "":
+			b.WriteString(names[id])
+		case logic.TermOfID(id) != nil:
+			b.WriteString(logic.TermOfID(id).Key())
+		default:
+			// A null with no name in any threaded map: fall back to the
+			// symbol id, which is stable within the process at least.
+			b.WriteString("null:")
+			b.WriteString(strconv.Itoa(int(id)))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CanonicalForm renders the instance as a sorted atom-key listing with
+// every named null replaced by its canonical name — an instance identity
+// that is independent of factory-local null numbering, hence of the
+// order triggers fired in. Two instances are equal chase results up to
+// null renaming iff their canonical forms (under complete name maps) are
+// equal.
+func CanonicalForm(in *logic.Instance, names NullNames) string {
+	keys := make([]string, in.Len())
+	for i, a := range in.Atoms() {
+		var b strings.Builder
+		b.WriteString(a.Pred.Name)
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(a.Pred.Arity))
+		for _, t := range a.Args {
+			b.WriteByte('(')
+			if n, ok := t.(*logic.Null); ok {
+				if name := names[logic.IDOf(n)]; name != "" {
+					b.WriteString(name)
+				} else {
+					b.WriteString(n.Key())
+				}
+			} else {
+				b.WriteString(t.Key())
+			}
+			b.WriteByte(')')
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}

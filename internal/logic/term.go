@@ -219,6 +219,27 @@ func (f *NullFactory) NullAt(id, depth int) *Null {
 // Len returns the number of nulls created so far.
 func (f *NullFactory) Len() int { return len(f.all) }
 
+// NextID returns the factory-local id the next Intern/InternTuple-created
+// null will carry — the high-water mark of the factory's dense id range
+// (base for an empty factory). Checkpointing persists it so a resumed
+// chase can number its nulls strictly above every null the checkpointed
+// run created, even ones that never reached the instance (a trigger whose
+// atoms were all duplicates still interned its nulls).
+func (f *NullFactory) NextID() int { return f.base + len(f.all) }
+
+// EachTupleNull calls fn for every null created through InternTuple, in
+// creation order, together with the tuple key that named it. The tuple
+// aliases the factory's arena: fn must not retain or mutate it. Nulls
+// created through Intern (string keys) or NullAt are not visited. The
+// chase's canonical null naming walks this to expand each null's
+// (TGD index, existential index, key image ids) tuple into an
+// order-independent name.
+func (f *NullFactory) EachTupleNull(fn func(n *Null, tuple []int32)) {
+	for id, n := range f.byTuple {
+		fn(n, f.tuples.at(int32(id)))
+	}
+}
+
 // MaxDepth returns the maximum depth over all nulls created so far, or 0
 // if none exist.
 func (f *NullFactory) MaxDepth() int { return f.maxDepth }

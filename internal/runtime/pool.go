@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/chase"
+	"repro/internal/checkpoint"
 	"repro/internal/logic"
 	"repro/internal/tgds"
 )
@@ -212,6 +213,45 @@ func ChaseJob(name string, db *logic.Instance, sigma *tgds.Set, opts chase.Optio
 			o.Scratch = sc
 		}
 		return chase.Run(db, sigma, o), nil
+	}
+	return Job{
+		Name: name,
+		Wall: b.Wall,
+		Run: func(ctx context.Context) (any, error) {
+			return run(ctx, nil)
+		},
+		RunScratch: run,
+	}
+}
+
+// ResumeJob builds a Job that continues a checkpointed chase over a
+// base-data delta (checkpoint.Checkpoint.Resume). Budgets, executor
+// override, wall-clock interruption, and worker-scratch reuse behave
+// exactly as in ChaseJob — the resumed run is the same engine. The
+// job's value is the *chase.Result; unlike a chase job, a resume can
+// fail before the engine starts (ontology mismatch), which surfaces as
+// the job's error.
+func ResumeJob(name string, cp *checkpoint.Checkpoint, sigma *tgds.Set, delta []*logic.Atom, opts chase.Options, b Budget, exec chase.Executor) Job {
+	if b.MaxAtoms > 0 {
+		opts.MaxAtoms = b.MaxAtoms
+	}
+	if b.MaxRounds > 0 {
+		opts.MaxRounds = b.MaxRounds
+	}
+	if exec != nil {
+		opts.Executor = exec
+	}
+	run := func(ctx context.Context, sc *chase.Scratch) (any, error) {
+		o := opts
+		o.Interrupt = Interrupter(ctx)
+		if o.Scratch == nil {
+			o.Scratch = sc
+		}
+		res, err := cp.Resume(sigma, delta, o)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	return Job{
 		Name: name,

@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/checkpoint"
+	"repro/internal/compile"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/telemetry"
+)
+
+// TestSchedulerResume runs a resume job through a traced scheduler and
+// checks the three contracts: the result is byte-identical to a direct
+// checkpoint.Resume, the terminal trace span is "resume" (not "chase"),
+// and an ontology mismatch surfaces as the job's error — typed, so the
+// service layer can classify it.
+func TestSchedulerResume(t *testing.T) {
+	db := parser.MustParseDatabase(`e(n0, n1). e(n1, n2). e(n2, n3).`)
+	sigma := parser.MustParseRules(`e(X, Y), e(Y, Z) -> e(X, Z).`)
+	base := chase.Run(db, sigma, chase.Options{Checkpoint: true})
+	cp, err := checkpoint.Capture(sigma, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := []*logic.Atom{logic.MakeAtom("e", logic.Constant("n3"), logic.Constant("n4"))}
+
+	want, err := cp.Resume(sigma, delta, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	tel.Trace = telemetry.NewTraceSink()
+	tel.Trace.SetClock(func() time.Time { return time.Unix(42, 0) })
+	s := NewScheduler(SchedulerConfig{Workers: 1, QueueBound: 2, Telemetry: tel,
+		Compiler: compile.NewCache(4)})
+	defer s.Close()
+
+	tk, err := s.SubmitResumeMeta(context.Background(), JobMeta{Tenant: "acme"},
+		"delta-1", cp, sigma, delta, chase.Options{}, Budget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tk.Wait()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	got := r.Value.(*chase.Result)
+	if !got.Terminated {
+		t.Fatal("resumed run did not terminate")
+	}
+	if got.Instance.CanonicalKey() != want.Instance.CanonicalKey() {
+		t.Fatal("scheduled resume diverged from direct resume")
+	}
+	ga, wa := got.Instance.Atoms(), want.Instance.Atoms()
+	for i := range ga {
+		if ga[i].Key() != wa[i].Key() {
+			t.Fatalf("atom %d: %v != %v (insertion order diverged)", i, ga[i], wa[i])
+		}
+	}
+
+	var sawResume, sawChase bool
+	for _, ev := range tel.Trace.Events() {
+		switch ev.Span {
+		case "resume":
+			sawResume = true
+		case "chase":
+			sawChase = true
+		}
+	}
+	if !sawResume || sawChase {
+		t.Fatalf("trace spans: resume=%v chase=%v, want the terminal span named resume", sawResume, sawChase)
+	}
+
+	// A mismatched ontology fails the ticket with the typed error.
+	other := parser.MustParseRules(`e(X, Y) -> p(X).`)
+	tk2, err := s.SubmitResumeMeta(context.Background(), JobMeta{},
+		"bad", cp, other, nil, chase.Options{}, Budget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tk2.Wait(); !errors.Is(r.Err, checkpoint.ErrMismatch) {
+		t.Fatalf("mismatch resume: err = %v, want checkpoint.ErrMismatch", r.Err)
+	}
+}
+
+// TestResumeJobBudget: a resumed run honors round budgets and reports
+// truncation through Terminated, not an error — same contract as
+// ChaseJob.
+func TestResumeJobBudget(t *testing.T) {
+	db := parser.MustParseDatabase(`e(a, b).`)
+	sigma := parser.MustParseRules(`e(X, Y) -> ∃Z e(Y, Z).`)
+	base := chase.Run(db, sigma, chase.Options{Checkpoint: true, MaxRounds: 2})
+	cp, err := checkpoint.Capture(sigma, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(SchedulerConfig{Workers: 1, QueueBound: 1})
+	defer s.Close()
+	tk, err := s.SubmitResumeMeta(context.Background(), JobMeta{},
+		"walk-on", cp, sigma, nil, chase.Options{}, Budget{MaxRounds: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tk.Wait()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	res := r.Value.(*chase.Result)
+	if res.Terminated {
+		t.Fatal("infinite walk reported terminated")
+	}
+	if res.Stats.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 (the resumed run's own rounds)", res.Stats.Rounds)
+	}
+	if res.Stats.Atoms <= base.Stats.Atoms {
+		t.Fatal("resumed run derived nothing")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/chase"
+	"repro/internal/checkpoint"
 	"repro/internal/logic"
 	"repro/internal/telemetry"
 	"repro/internal/tgds"
@@ -333,6 +334,33 @@ func (s *Scheduler) SubmitChaseIn(ctx context.Context, name string, db *logic.In
 // (tenant, priority lane) set; the service layer routes RequestMeta
 // through it.
 func (s *Scheduler) SubmitChaseMeta(ctx context.Context, meta JobMeta, name string, db *logic.Instance, sigma *tgds.Set, opts chase.Options, b Budget, exec chase.Executor) (*Ticket, error) {
+	opts, progress, obs := s.instrumentEngine(opts, "chase")
+	j := ChaseJob(name, db, sigma, opts, b, exec)
+	j.Meta = meta
+	return s.submit(ctx, j, progress, obs)
+}
+
+// SubmitResumeMeta admits a ResumeJob — a chase continued from a
+// checkpoint over a base-data delta — with the same wiring as
+// SubmitChaseMeta: the scheduler's Compiler when opts carries none, the
+// ticket's Progress stream, and (with telemetry on) the metering
+// observer, whose terminal trace span is "resume" rather than "chase".
+// The resumed run goes through the same engine, so budgets, Interrupt,
+// worker Scratch, and parallel Executors all apply unchanged.
+func (s *Scheduler) SubmitResumeMeta(ctx context.Context, meta JobMeta, name string, cp *checkpoint.Checkpoint, sigma *tgds.Set, delta []*logic.Atom, opts chase.Options, b Budget, exec chase.Executor) (*Ticket, error) {
+	opts, progress, obs := s.instrumentEngine(opts, "resume")
+	j := ResumeJob(name, cp, sigma, delta, opts, b, exec)
+	j.Meta = meta
+	return s.submit(ctx, j, progress, obs)
+}
+
+// instrumentEngine applies the scheduler's per-engine-job wiring to an
+// options value: the shared compiler (when the job brings none), the
+// latest-wins progress forward, and — with telemetry on — the metering
+// observer beside any observer the caller brought. The observer's trace
+// handle is filled in by submit, under the admission step, before the
+// job can reach a worker; kind names its terminal trace span.
+func (s *Scheduler) instrumentEngine(opts chase.Options, kind string) (chase.Options, chan chase.Stats, *chaseObserver) {
 	if opts.Compile == nil {
 		opts.Compile = s.compiler
 	}
@@ -344,17 +372,12 @@ func (s *Scheduler) SubmitChaseMeta(ctx context.Context, meta JobMeta, name stri
 		}
 		pushLatest(progress, st)
 	}
-	// With telemetry on, attach the metering observer beside any observer
-	// the caller brought; its trace handle is filled in by submit, under
-	// the admission step, before the job can reach a worker.
 	var obs *chaseObserver
 	if s.tel != nil {
-		obs = &chaseObserver{m: s.tel}
+		obs = &chaseObserver{m: s.tel, kind: kind}
 		opts.Observer = chase.MultiObserver(opts.Observer, obs)
 	}
-	j := ChaseJob(name, db, sigma, opts, b, exec)
-	j.Meta = meta
-	return s.submit(ctx, j, progress, obs)
+	return opts, progress, obs
 }
 
 // pushLatest delivers st to a 1-buffered channel with latest-wins

@@ -101,6 +101,7 @@ func outcomeOf(r JobResult) string {
 type chaseObserver struct {
 	m     *schedTelemetry
 	trace *telemetry.JobTrace // set by submit before enqueue; nil when tracing is off
+	kind  string              // terminal span name; "" means "chase" ("resume" for resumed jobs)
 
 	started    bool
 	prevAtoms  int
@@ -153,7 +154,11 @@ func (o *chaseObserver) ObserveDone(st chase.Stats, terminated bool) {
 			}
 			o.trace.Event("compile", "cache", cache)
 		}
-		o.trace.Event("chase",
+		kind := o.kind
+		if kind == "" {
+			kind = "chase"
+		}
+		o.trace.Event(kind,
 			"rounds", strconv.Itoa(st.Rounds),
 			"atoms", strconv.Itoa(st.Atoms),
 			"terminated", strconv.FormatBool(terminated))

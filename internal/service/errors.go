@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/checkpoint"
 	rt "repro/internal/runtime"
 	"repro/internal/wire"
 )
@@ -105,8 +106,11 @@ func classify(err error) ErrorKind {
 		return KindOverloaded
 	case errors.Is(err, rt.ErrSchedulerClosed):
 		return KindUnavailable
-	case errors.Is(err, wire.ErrCorrupt), errors.Is(err, wire.ErrDeltaMismatch):
+	case errors.Is(err, wire.ErrCorrupt), errors.Is(err, wire.ErrDeltaMismatch),
+		errors.Is(err, checkpoint.ErrCorrupt):
 		return KindDecode
+	case errors.Is(err, checkpoint.ErrMismatch), errors.Is(err, checkpoint.ErrNotResumable):
+		return KindBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return KindCanceled
 	default:

@@ -26,6 +26,9 @@ const (
 	// OpRegistry is ontology registration/resolution — operation-agnostic
 	// registry work, named truthfully in error envelopes.
 	OpRegistry
+	// OpResume continues a checkpointed chase over a base-data delta
+	// (DeltaRequest) — the incremental re-chase serving mode.
+	OpResume
 )
 
 // String returns the operation name.
@@ -37,6 +40,8 @@ func (o Op) String() string {
 		return "experiment"
 	case OpRegistry:
 		return "registry"
+	case OpResume:
+		return "resume"
 	default:
 		return "chase"
 	}
@@ -173,6 +178,56 @@ type ChaseRequest struct {
 	// Progress, when non-nil, additionally observes round-boundary
 	// statistics in-process (the ticket's Progress stream works either
 	// way). In-process only: request files cannot carry it.
+	Progress func(chase.Stats)
+	// Checkpoint asks the run to capture resumable state at a clean stop
+	// (chase.Options.Checkpoint), so the ticket's EncodeCheckpoint can
+	// emit a portable artifact a later DeltaRequest continues from. Off
+	// by default: capture retains the fired-trigger set past the run.
+	Checkpoint bool
+}
+
+// DeltaRequest continues a checkpointed chase over a base-data delta —
+// the incremental re-chase serving shape: a client holds a checkpoint
+// artifact from an earlier run (Ticket.EncodeCheckpoint), new base data
+// arrives, and only its consequences are chased. The chase variant is
+// pinned by the checkpoint; there is no variant knob here.
+type DeltaRequest struct {
+	Meta RequestMeta
+	// Name labels the job (default "resume").
+	Name string
+	// Checkpoint is the encoded artifact (internal/checkpoint) the run
+	// continues from. Decode failures are KindDecode.
+	Checkpoint []byte
+	// Ontology optionally names Σ explicitly (inline set or registered
+	// fingerprint). When empty, the checkpoint's own fingerprint is
+	// resolved through the registry — the steady-state shape: Σ was
+	// registered once, checkpoints address it by identity. Either way
+	// the set must match the checkpoint exactly (checkpoint.Validate);
+	// a mismatch is KindBadRequest wrapping checkpoint.ErrMismatch.
+	Ontology OntologyRef
+	// Delta carries new base atoms in-process; Deltas carries wire delta
+	// blobs encoded against the checkpointed instance, applied in order
+	// through the checkpoint's stream before the run starts. Both may be
+	// set; blobs apply first, then the atoms ride the resumed round's
+	// semi-naive window.
+	Delta  []*logic.Atom
+	Deltas [][]byte
+	// MaxAtoms / MaxRounds / Wall bound the resumed run (0 = unlimited).
+	MaxAtoms  int
+	MaxRounds int
+	Wall      time.Duration
+	// TrackForest / RecordDerivation / NoSemiNaive as in ChaseRequest.
+	TrackForest      bool
+	RecordDerivation bool
+	NoSemiNaive      bool
+	// Chain asks the resumed run to capture resumable state of its own,
+	// so EncodeCheckpoint on its ticket emits a second-generation
+	// artifact (checkpoints compose across cuts).
+	Chain bool
+	// Workers / Executor parallelize the run as in ChaseRequest.
+	Workers  int
+	Executor chase.Executor
+	// Progress observes round boundaries (in-process only).
 	Progress func(chase.Stats)
 }
 

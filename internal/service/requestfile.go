@@ -20,7 +20,8 @@ import (
 // are not. Relative paths are resolved against the request file's own
 // directory.
 type RequestFile struct {
-	// Kind selects the operation: "chase", "decide", or "experiment".
+	// Kind selects the operation: "chase", "decide", "experiment", or
+	// "resume" (continue a checkpointed chase over a delta).
 	Kind string `json:"kind"`
 	// Tenant and Priority ("high", "normal", "low") fill RequestMeta.
 	Tenant   string `json:"tenant,omitempty"`
@@ -36,6 +37,12 @@ type RequestFile struct {
 	Rules    string   `json:"rules,omitempty"`
 	Snapshot string   `json:"snapshot,omitempty"`
 	Deltas   []string `json:"deltas,omitempty"`
+	// Checkpoint names a checkpoint artifact for a "resume" request: the
+	// chase continues from it, with the file's facts (and Deltas, read as
+	// wire delta blobs against the checkpointed instance) as the
+	// base-data delta. Rules are optional — without them the checkpoint's
+	// fingerprint resolves through the service registry.
+	Checkpoint string `json:"checkpoint,omitempty"`
 
 	// Chase options.
 	Engine    string `json:"engine,omitempty"`
@@ -179,6 +186,85 @@ func (f *RequestFile) ChaseRequest() (ChaseRequest, error) {
 		MaxAtoms:  f.MaxAtoms,
 		MaxRounds: f.MaxRounds,
 	}, nil
+}
+
+// DeltaRequest builds the typed envelope of a "resume" request file:
+// Checkpoint names the artifact, the file's facts (Program facts or
+// Data) are the in-process delta, Deltas are wire delta blobs, and the
+// rules — when present — pin Σ inline (otherwise the checkpoint's
+// fingerprint resolves through the registry). Engine is rejected: the
+// variant is pinned by the checkpoint. Snapshot is rejected: a resume's
+// base instance is the checkpoint, deltas are the only payload.
+func (f *RequestFile) DeltaRequest() (DeltaRequest, error) {
+	if f.Kind != "resume" {
+		return DeltaRequest{}, fmt.Errorf("request kind %q, want \"resume\"", f.Kind)
+	}
+	meta, err := f.meta()
+	if err != nil {
+		return DeltaRequest{}, err
+	}
+	if f.Checkpoint == "" {
+		return DeltaRequest{}, fmt.Errorf("resume request names no checkpoint artifact")
+	}
+	if f.Engine != "" {
+		return DeltaRequest{}, fmt.Errorf("resume requests take no engine: the chase variant is pinned by the checkpoint")
+	}
+	if f.Snapshot != "" {
+		return DeltaRequest{}, fmt.Errorf("resume requests take no snapshot: the base instance is the checkpoint, ship new atoms as facts or deltas")
+	}
+	req := DeltaRequest{
+		Meta:      meta,
+		Name:      f.Name,
+		MaxAtoms:  f.MaxAtoms,
+		MaxRounds: f.MaxRounds,
+	}
+	if req.Checkpoint, err = os.ReadFile(f.resolve(f.Checkpoint)); err != nil {
+		return DeltaRequest{}, err
+	}
+	var facts *logic.Instance
+	switch {
+	case f.Program != "":
+		src, err := os.ReadFile(f.resolve(f.Program))
+		if err != nil {
+			return DeltaRequest{}, err
+		}
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			return DeltaRequest{}, err
+		}
+		facts = prog.Database
+		req.Ontology = OntologyRef{Set: prog.Rules}
+	case f.Rules != "":
+		src, err := os.ReadFile(f.resolve(f.Rules))
+		if err != nil {
+			return DeltaRequest{}, err
+		}
+		rules, err := parser.ParseRules(string(src))
+		if err != nil {
+			return DeltaRequest{}, err
+		}
+		req.Ontology = OntologyRef{Set: rules}
+	}
+	if f.Data != "" {
+		src, err := os.ReadFile(f.resolve(f.Data))
+		if err != nil {
+			return DeltaRequest{}, err
+		}
+		if facts, err = parser.ParseDatabase(string(src)); err != nil {
+			return DeltaRequest{}, err
+		}
+	}
+	if facts != nil {
+		req.Delta = facts.Atoms()
+	}
+	for _, d := range f.Deltas {
+		blob, err := os.ReadFile(f.resolve(d))
+		if err != nil {
+			return DeltaRequest{}, err
+		}
+		req.Deltas = append(req.Deltas, blob)
+	}
+	return req, nil
 }
 
 // DecideRequest builds the typed envelope of a "decide" request file.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/chase"
+	"repro/internal/checkpoint"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -219,6 +220,7 @@ func (s *Service) SubmitChase(ctx context.Context, req ChaseRequest) (*Ticket, e
 		NoSemiNaive:      req.NoSemiNaive,
 		Progress:         req.Progress,
 		Compile:          s.cache,
+		Checkpoint:       req.Checkpoint,
 	}
 	t, err := s.sched.SubmitChaseMeta(ctx, req.Meta.jobMeta(), name, db, sigma, opts,
 		rt.Budget{Wall: req.Wall}, executor(req.Workers, req.Executor))
@@ -228,7 +230,68 @@ func (s *Service) SubmitChase(ctx context.Context, req ChaseRequest) (*Ticket, e
 	if s.stel != nil {
 		s.stel.observeRequest(OpChase, req.Meta, req.Ontology)
 	}
-	return &Ticket{op: OpChase, rt: t}, nil
+	return &Ticket{op: OpChase, rt: t, sigma: sigma}, nil
+}
+
+// SubmitDelta admits an incremental re-chase request: the checkpoint
+// artifact is decoded, its ontology resolved (explicitly, or — the
+// steady-state shape — through the registry by the checkpoint's own
+// fingerprint) and validated against it, wire delta blobs are applied
+// through the checkpoint's stream, and the resumed run is scheduled
+// with the same admission metadata, budgets, and telemetry as a chase
+// (its terminal trace span is "resume"). All validation is synchronous:
+// a corrupt artifact or blob (KindDecode), an unregistered fingerprint
+// (KindUnknownOntology), and a mismatched ontology (KindBadRequest
+// wrapping checkpoint.ErrMismatch) fail the Submit, not the worker.
+func (s *Service) SubmitDelta(ctx context.Context, req DeltaRequest) (*Ticket, error) {
+	name := orDefault(req.Name, "resume")
+	if len(req.Checkpoint) == 0 {
+		return nil, wrapErr(OpResume, name, KindBadRequest, fmt.Errorf("request carries no checkpoint artifact"))
+	}
+	cp, err := checkpoint.Decode(req.Checkpoint)
+	if err != nil {
+		return nil, wrapErr(OpResume, name, KindDecode, err)
+	}
+	var sigma *tgds.Set
+	if req.Ontology.Set != nil || req.Ontology.Fingerprint != (compile.Fingerprint{}) {
+		if sigma, err = s.resolve(OpResume, name, req.Ontology); err != nil {
+			return nil, err
+		}
+	} else {
+		var ok bool
+		if sigma, ok = s.cache.Registered(cp.Fingerprint); !ok {
+			return nil, wrapErr(OpResume, name, KindUnknownOntology,
+				fmt.Errorf("%w: the checkpoint's ontology %s is not registered (register Σ, or attach it to the request)",
+					ErrUnknownOntology, cp.Fingerprint))
+		}
+	}
+	if err := cp.Validate(sigma); err != nil {
+		return nil, wrapErr(OpResume, name, KindBadRequest, err)
+	}
+	for i, blob := range req.Deltas {
+		if _, err := cp.ApplyDelta(blob); err != nil {
+			return nil, wrapErr(OpResume, name, KindDecode, fmt.Errorf("delta blob %d: %w", i, err))
+		}
+	}
+	opts := chase.Options{
+		MaxAtoms:         req.MaxAtoms,
+		MaxRounds:        req.MaxRounds,
+		TrackForest:      req.TrackForest,
+		RecordDerivation: req.RecordDerivation,
+		NoSemiNaive:      req.NoSemiNaive,
+		Progress:         req.Progress,
+		Compile:          s.cache,
+		Checkpoint:       req.Chain,
+	}
+	t, err := s.sched.SubmitResumeMeta(ctx, req.Meta.jobMeta(), name, cp, sigma, req.Delta, opts,
+		rt.Budget{Wall: req.Wall}, executor(req.Workers, req.Executor))
+	if err != nil {
+		return nil, wrapErr(OpResume, name, KindInternal, err)
+	}
+	if s.stel != nil {
+		s.stel.observeRequest(OpResume, req.Meta, req.Ontology)
+	}
+	return &Ticket{op: OpResume, rt: t, sigma: sigma}, nil
 }
 
 // SubmitByFingerprint is SubmitChase for a remote-shaped submission: the
@@ -362,6 +425,9 @@ func (s *Service) SubmitExperiment(ctx context.Context, req ExperimentRequest) (
 type Ticket struct {
 	op Op
 	rt *rt.Ticket
+	// sigma is the resolved ontology of a chase/resume request, retained
+	// so EncodeCheckpoint can bind the artifact to it.
+	sigma *tgds.Set
 }
 
 // Name returns the job's name.
@@ -408,6 +474,36 @@ func (t *Ticket) EncodeChase() ([]byte, error) {
 	start := tr.Now()
 	data := wire.EncodeSnapshot(r.Chase.Instance)
 	tr.Span("encode", tr.Now().Sub(start), "bytes", strconv.Itoa(len(data)))
+	return data, nil
+}
+
+// EncodeCheckpoint waits for a chase or resume result and encodes it as
+// a portable checkpoint artifact — the hand-off of the incremental
+// re-chase flow: serve the artifact now, continue it later through a
+// DeltaRequest. The run must have captured resumable state (the
+// request's Checkpoint/Chain flag, and a clean stop); otherwise the
+// error wraps checkpoint.ErrNotResumable as KindBadRequest. When the
+// job is traced, the encode is recorded as a "checkpoint" span.
+func (t *Ticket) EncodeCheckpoint() ([]byte, error) {
+	r := t.Wait()
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if r.Chase == nil || t.sigma == nil {
+		return nil, wrapErr(t.op, r.Name, KindBadRequest,
+			fmt.Errorf("encode-checkpoint: %s result carries no chase run", t.op))
+	}
+	cp, err := checkpoint.Capture(t.sigma, r.Chase)
+	if err != nil {
+		return nil, wrapErr(t.op, r.Name, KindBadRequest, err)
+	}
+	tr := t.rt.Trace()
+	start := tr.Now()
+	data, err := cp.Encode()
+	if err != nil {
+		return nil, wrapErr(t.op, r.Name, KindInternal, err)
+	}
+	tr.Span("checkpoint", tr.Now().Sub(start), "bytes", strconv.Itoa(len(data)))
 	return data, nil
 }
 

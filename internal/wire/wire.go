@@ -96,6 +96,19 @@ func (o opaque) Key() string { return o.key }
 
 func (o opaque) String() string { return o.str }
 
+// ForeignTerm reconstructs a foreign term kind from its wire identity —
+// the (key, rendering) pair an encoder emits under the 'o' tag. It
+// rejects keys in the built-in kinds' key spaces for the same reason the
+// decoder does: interning them as foreign would mint a second symbol id
+// for an existing identity. internal/checkpoint uses it to decode the
+// fired-trigger term manifest, which mirrors this package's tags.
+func ForeignTerm(key, rendering string) (logic.Term, error) {
+	if builtinKeyPrefix(key) {
+		return nil, fmt.Errorf("%w: foreign term with built-in identity key %q", ErrCorrupt, key)
+	}
+	return opaque{key: key, str: rendering}, nil
+}
+
 // builtinKeyPrefix reports whether the key belongs to one of logic's
 // built-in term kinds. Encoders never emit such keys under the foreign
 // tag; decoders reject them, because interning them as foreign would
@@ -238,9 +251,20 @@ func (e *encoder) atoms(atoms []*logic.Atom) {
 // single instance, resolving null identity across the whole stream
 // through one factory. A Decoder is single-use and not safe for
 // concurrent use.
+//
+// A decode error poisons the decoder: every later Snapshot or Apply call
+// fails with an error wrapping both ErrCorrupt and the original defect,
+// and Err reports it. Section decoding is atomic (parse-then-materialize,
+// see section), so the already-decoded instance is still exactly the
+// pre-error stream prefix — Instance remains valid for reading — but the
+// stream itself is unusable: a caller that fed one corrupt frame has lost
+// sync, and silently accepting the next frame would splice rounds across
+// the gap. Checkpoint loading composes snapshot + delta + trigger
+// sections on one decoder and relies on this latch.
 type Decoder struct {
 	nulls *logic.NullFactory
 	inst  *logic.Instance
+	err   error // first decode error; poisons all later calls
 }
 
 // NewDecoder returns a decoder for one snapshot+deltas stream.
@@ -251,19 +275,45 @@ func NewDecoder() *Decoder {
 // Instance returns the instance decoded so far (nil before Snapshot).
 func (d *Decoder) Instance() *logic.Instance { return d.inst }
 
+// Err returns the error that poisoned the decoder, or nil while the
+// stream is still healthy.
+func (d *Decoder) Err() error { return d.err }
+
+// poison latches the stream's first decode error and returns it. Misuse
+// errors (snapshot-after-snapshot, delta-before-snapshot, mismatched
+// delta base) poison too: each means the caller's framing is out of step
+// with the stream, after which no later frame can be trusted to land
+// where the caller thinks it does.
+func (d *Decoder) poison(err error) error {
+	if d.err == nil {
+		d.err = err
+	}
+	return err
+}
+
+// poisoned reports the standing error of a dead stream, wrapping
+// ErrCorrupt so callers matching the usual decode-failure sentinel catch
+// it without knowing about the latch.
+func (d *Decoder) poisoned() error {
+	return fmt.Errorf("%w: decoder poisoned by earlier error: %w", ErrCorrupt, d.err)
+}
+
 // Snapshot decodes a snapshot encoding into a fresh instance. It must be
 // the stream's first call and may be made only once.
 func (d *Decoder) Snapshot(data []byte) (*logic.Instance, error) {
+	if d.err != nil {
+		return nil, d.poisoned()
+	}
 	if d.inst != nil {
-		return nil, fmt.Errorf("%w: decoder already holds a snapshot", ErrCorrupt)
+		return nil, d.poison(fmt.Errorf("%w: decoder already holds a snapshot", ErrCorrupt))
 	}
 	r := &reader{data: data}
 	if err := r.header(kindSnapshot); err != nil {
-		return nil, err
+		return nil, d.poison(err)
 	}
 	in := logic.NewInstance()
 	if err := d.section(r, in); err != nil {
-		return nil, err
+		return nil, d.poison(err)
 	}
 	if m := metered(); m != nil {
 		m.WireDecoded(len(data))
@@ -275,24 +325,32 @@ func (d *Decoder) Snapshot(data []byte) (*logic.Instance, error) {
 // Apply decodes a delta encoding and appends its atoms to the decoded
 // instance, returning the number of atoms added. The delta's recorded
 // base length must equal the instance's current length.
+//
+// An error poisons the decoder (see Decoder): the instance keeps the
+// atoms of every frame that succeeded, nothing from the failed one, and
+// all later Snapshot/Apply calls refuse with an error wrapping
+// ErrCorrupt and the original defect.
 func (d *Decoder) Apply(data []byte) (int, error) {
+	if d.err != nil {
+		return 0, d.poisoned()
+	}
 	if d.inst == nil {
-		return 0, fmt.Errorf("%w: delta applied before any snapshot", ErrCorrupt)
+		return 0, d.poison(fmt.Errorf("%w: delta applied before any snapshot", ErrCorrupt))
 	}
 	r := &reader{data: data}
 	if err := r.header(kindDelta); err != nil {
-		return 0, err
+		return 0, d.poison(err)
 	}
 	base, err := r.count("delta base")
 	if err != nil {
-		return 0, err
+		return 0, d.poison(err)
 	}
 	if base != d.inst.Len() {
-		return 0, fmt.Errorf("%w: delta base %d, instance holds %d atoms", ErrDeltaMismatch, base, d.inst.Len())
+		return 0, d.poison(fmt.Errorf("%w: delta base %d, instance holds %d atoms", ErrDeltaMismatch, base, d.inst.Len()))
 	}
 	before := d.inst.Len()
 	if err := d.section(r, d.inst); err != nil {
-		return 0, err
+		return 0, d.poison(err)
 	}
 	if m := metered(); m != nil {
 		m.WireDecoded(len(data))

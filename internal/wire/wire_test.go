@@ -3,7 +3,6 @@ package wire
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -334,7 +333,7 @@ func TestDecodeErrors(t *testing.T) {
 			t.Fatalf("err = %v, want ErrDeltaMismatch", err)
 		}
 	})
-	t.Run("corrupt delta is atomic", func(t *testing.T) {
+	t.Run("corrupt delta is atomic and poisons", func(t *testing.T) {
 		d := NewDecoder()
 		if _, err := d.Snapshot(good); err != nil {
 			t.Fatal(err)
@@ -346,54 +345,45 @@ func TestDecodeErrors(t *testing.T) {
 		delta := EncodeDelta(grown, 1)
 		truncated := delta[:len(delta)-1] // lose the final atom's term index
 		before := d.Instance().CanonicalKey()
-		if _, err := d.Apply(truncated); !errors.Is(err, ErrCorrupt) {
+		if d.Err() != nil {
+			t.Fatalf("healthy stream reports Err = %v", d.Err())
+		}
+		first, err := d.Apply(truncated)
+		if first != 0 || !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("err = %v, want ErrCorrupt", err)
 		}
 		if d.Instance().CanonicalKey() != before {
 			t.Fatal("corrupt delta half-applied: the decoded instance changed")
 		}
-		// The intact delta still applies cleanly afterwards.
-		if added, err := d.Apply(delta); err != nil || added != 2 {
-			t.Fatalf("intact delta after corrupt attempt: added=%d err=%v", added, err)
+		// The stream is poisoned: even the intact delta is refused, with an
+		// error that wraps both ErrCorrupt and the original defect, and
+		// Err() reports the defect itself.
+		if _, err := d.Apply(delta); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("poisoned Apply err = %v, want ErrCorrupt", err)
+		}
+		if _, err := d.Snapshot(good); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("poisoned Snapshot err = %v, want ErrCorrupt", err)
+		}
+		if d.Err() == nil || !errors.Is(d.Err(), ErrCorrupt) {
+			t.Fatalf("Err() = %v, want the poisoning defect", d.Err())
+		}
+		if d.Instance().CanonicalKey() != before {
+			t.Fatal("poisoned calls mutated the decoded instance")
 		}
 	})
-	t.Run("corrupt delta leaves the null factory untouched", func(t *testing.T) {
-		// A corrupt delta that names null id 9 at depth 7 must not pin
-		// that (id, depth) in the stream factory: a later intact delta
-		// defining id 9 at depth 3 owns the id.
-		nulls := logic.NewNullFactory()
-		for i := 0; i < 9; i++ {
-			nulls.Intern(fmt.Sprint("n", i), 1)
-		}
-		deep, _ := nulls.Intern("deep", 7)
-		if deep.ID() != 9 {
-			t.Fatalf("setup: null id %d, want 9", deep.ID())
-		}
-		base := logic.MakeAtom("p", logic.Constant("a")) // the snapshot's atom
-		withDeep := logic.NewDatabase(base, logic.MakeAtom("p", deep))
-		corrupt := EncodeDelta(withDeep, 1)
-		corrupt = corrupt[:len(corrupt)-1]
-
-		shallowNulls := logic.NewNullFactory()
-		for i := 0; i < 9; i++ {
-			shallowNulls.Intern(fmt.Sprint("m", i), 1)
-		}
-		shallow, _ := shallowNulls.Intern("shallow", 3)
-		intact := EncodeDelta(logic.NewDatabase(base, logic.MakeAtom("p", shallow)), 1)
-
+	t.Run("mismatched delta base poisons", func(t *testing.T) {
 		d := NewDecoder()
 		if _, err := d.Snapshot(good); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := d.Apply(corrupt); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("err = %v, want ErrCorrupt", err)
+		bad := EncodeDelta(logic.NewDatabase(logic.MakeAtom("q", logic.Constant("b"))), 0)
+		if _, err := d.Apply(bad); !errors.Is(err, ErrDeltaMismatch) {
+			t.Fatalf("err = %v, want ErrDeltaMismatch", err)
 		}
-		if _, err := d.Apply(intact); err != nil {
-			t.Fatal(err)
-		}
-		got := d.Instance().Atoms()[1].Args[0]
-		if logic.TermDepth(got) != 3 {
-			t.Fatalf("null depth %d leaked from the corrupt delta, want 3", logic.TermDepth(got))
+		// Framing misuse poisons too: the caller lost sync with the stream.
+		ok := EncodeDelta(logic.NewDatabase(logic.MakeAtom("p", logic.Constant("a")), logic.MakeAtom("q", logic.Constant("b"))), 1)
+		if _, err := d.Apply(ok); !errors.Is(err, ErrCorrupt) || !errors.Is(err, ErrDeltaMismatch) {
+			t.Fatalf("poisoned err = %v, want ErrCorrupt wrapping ErrDeltaMismatch", err)
 		}
 	})
 	t.Run("delta before snapshot", func(t *testing.T) {
