@@ -52,6 +52,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chase"
 	"repro/internal/cli"
 	"repro/internal/logic"
 	"repro/internal/parser"
@@ -81,6 +82,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		request   = cli.RequestFlag(fs)
 		workers   = cli.WorkersFlag(fs)
 		stream    = cli.StreamFlag(fs)
+		fleetStr  = fs.String("fleet", "", "comma-separated chased worker addresses; the chase runs remotely, stdout is byte-identical")
+		fleetNet  = fs.String("fleet-network", "tcp", "fleet worker network: tcp or unix")
 	)
 	metricsPath, tracePath := cli.TelemetryFlags(fs)
 	cpuprofile, memprofile := cli.ProfileFlags(fs)
@@ -189,6 +192,24 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		engineLabel = fmt.Sprint(req.Variant)
 	}
 
+	if *fleetStr != "" {
+		// The remote route reuses the assembled envelope; features that
+		// need the local ticket or the local process (checkpoint capture,
+		// resume, telemetry files) are CLI misuse with -fleet.
+		switch {
+		case isResume:
+			fmt.Fprintln(stderr, "chase: -fleet does not support -resume or resume request files")
+			return 2
+		case *cpOut != "" || req.Checkpoint:
+			fmt.Fprintln(stderr, "chase: -fleet does not support -checkpoint")
+			return 2
+		case *metricsPath != "" || *tracePath != "":
+			fmt.Fprintln(stderr, "chase: -fleet does not support -metrics or -trace (scrape the workers' -http surface)")
+			return 2
+		}
+		return runFleet(*fleetStr, *fleetNet, req, engineLabel, *stats, *quiet, *stream, *format, stdout, stderr)
+	}
+
 	// One-shot service over the process-wide compilation cache: submit
 	// the envelope, await (or stream) the ticket. Telemetry is built only
 	// when some flag consumes it (-stats, -metrics, -trace); stdout is
@@ -218,28 +239,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	res := r.Chase
 
-	if !*quiet {
-		switch *format {
-		case "dlgp":
-			if err := parser.FormatDatabase(stdout, res.Instance); err != nil {
-				fmt.Fprintln(stderr, "chase:", err)
-				return 1
-			}
-		default:
-			atoms := make([]*logic.Atom, len(res.Instance.Atoms()))
-			copy(atoms, res.Instance.Atoms())
-			for _, a := range logic.SortAtoms(atoms) {
-				fmt.Fprintln(stdout, a)
-			}
-		}
-	}
-	if !res.Terminated {
-		// The truncation summary is part of the result, not a diagnostic:
-		// it lands on stdout, deterministically (the atom and round counts
-		// are byte-identical for any worker count and cache state), as a
-		// dlgp comment so -format dlgp output stays re-parseable.
-		fmt.Fprintf(stdout, "%% truncated: budget exhausted after %d atoms in %d rounds; the chase may be infinite\n",
-			res.Instance.Len(), res.Stats.Rounds)
+	if code := emitChase(stdout, stderr, *format, *quiet, res.Instance, res.Stats, res.Terminated); code != 0 {
+		return code
 	}
 	if *cpOut != "" {
 		// The artifact is encoded off the finished ticket ("checkpoint"
@@ -279,6 +280,41 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if !res.Terminated {
 		return 1
+	}
+	return 0
+}
+
+// emitChase renders a finished chase to stdout: the result instance
+// (unless quiet) in the selected format, then — for a budget-truncated
+// run — the deterministic "% truncated" comment. It is the single
+// emission path for both the in-process and -fleet routes, so remote
+// results are byte-identical to local ones by construction. Returns a
+// non-zero exit code only on a rendering failure; budget truncation is
+// the caller's exit-code concern.
+func emitChase(stdout, stderr io.Writer, format string, quiet bool, inst *logic.Instance, stats chase.Stats, terminated bool) int {
+	if !quiet {
+		switch format {
+		case "dlgp":
+			if err := parser.FormatDatabase(stdout, inst); err != nil {
+				fmt.Fprintln(stderr, "chase:", err)
+				return 1
+			}
+		default:
+			atoms := make([]*logic.Atom, len(inst.Atoms()))
+			copy(atoms, inst.Atoms())
+			for _, a := range logic.SortAtoms(atoms) {
+				fmt.Fprintln(stdout, a)
+			}
+		}
+	}
+	if !terminated {
+		// The truncation summary is part of the result, not a diagnostic:
+		// it lands on stdout, deterministically (the atom and round counts
+		// are byte-identical for any worker count, cache state, or fleet
+		// placement), as a dlgp comment so -format dlgp output stays
+		// re-parseable.
+		fmt.Fprintf(stdout, "%% truncated: budget exhausted after %d atoms in %d rounds; the chase may be infinite\n",
+			inst.Len(), stats.Rounds)
 	}
 	return 0
 }

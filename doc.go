@@ -109,6 +109,25 @@
 // surface is chase -checkpoint/-resume, and scheduler-level resume jobs
 // trace a terminal "resume" span.
 //
+// The distributed fleet (internal/fleet, cmd/chased) puts the service
+// layer on the network: chased is a worker daemon serving a framed
+// binary protocol over TCP or unix sockets (length-prefixed frames;
+// Register/Submit requests, Registered/Progress/Result/Error answers;
+// message bodies in the wire codec's varint vocabulary, every decoder
+// bounds-checked and fuzzed), dispatching to an embedded Service. A
+// Coordinator fans jobs over N workers with tenant-fair placement,
+// warms cold workers through the ontology pull handshake (an unknown
+// fingerprint fails typed, the coordinator ships Σ as dlgp text and
+// verifies the acked fingerprint), replays exchanges across transport
+// tears (a chase job is a pure function of its envelope), and folds
+// remote failures back into the service error taxonomy. The three
+// portable identities — compile fingerprint for Σ, wire manifest for
+// instances, CanonicalKey for results — make the distribution
+// invisible: a coordinator fleet over cold chased processes is
+// byte-identical (key, stats, rendered derivation) to the in-process
+// fleet, pinned per scenario and variant by the equivalence suites and
+// by cmd/chase -fleet, whose goldens are the single-process ones.
+//
 // Observability (internal/telemetry) is a zero-dependency layer over the
 // serving plane: an atomic metrics Registry (counters, gauges,
 // fixed-bucket histograms, capped label vectors), a deterministic

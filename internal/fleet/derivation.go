@@ -1,0 +1,34 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chase"
+)
+
+// RenderDerivation renders a recorded derivation deterministically: per
+// step the applied TGD (its set index and canonical key), the frontier
+// assignment (logic.Substitution.String is sorted by variable), and the
+// produced atoms' identity keys. Every component is pinned across
+// processes — TGD order survives the parser.FormatRules round trip of
+// the cold-pull handshake, and null identity survives the wire codec —
+// so a remote worker's rendering is byte-identical to an in-process
+// run's, and the equivalence suites compare derivations as strings
+// without shipping structures.
+func RenderDerivation(d *chase.Derivation) string {
+	if d == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "initial %d\n", d.Initial.Len())
+	for i, s := range d.Steps {
+		fmt.Fprintf(&b, "%d σ%d %s %s ->", i, s.TGD.ID, s.TGD, s.Frontier)
+		for _, a := range s.Produced {
+			b.WriteByte(' ')
+			b.WriteString(a.Key())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

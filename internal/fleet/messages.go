@@ -1,0 +1,426 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/chase"
+	"repro/internal/compile"
+	"repro/internal/service"
+)
+
+// registerMsg ships Σ to a cold worker as dlgp text — the same
+// canonical rendering parser.FormatRules pins with a parse→format
+// fixpoint, so registering the shipped text reproduces the fingerprint
+// of the original set.
+type registerMsg struct {
+	Rules string
+}
+
+// registeredMsg acks a Register with the fingerprint the worker
+// computed over the received clauses.
+type registeredMsg struct {
+	Fingerprint compile.Fingerprint
+}
+
+// submitMsg is one fingerprint-addressed chase job: exactly the
+// at-rest subset of service.ChaseRequest, with the database as a wire
+// snapshot plus deltas.
+type submitMsg struct {
+	Name     string
+	Tenant   string
+	Priority service.Priority
+	// Fingerprint addresses the worker-side registered ontology.
+	Fingerprint compile.Fingerprint
+	Variant     chase.Variant
+	MaxAtoms    int
+	MaxRounds   int
+	Workers     int
+	// Flags.
+	RecordDerivation bool
+	TrackForest      bool
+	NoSemiNaive      bool
+	// WantProgress asks the worker to stream Progress frames before the
+	// Result.
+	WantProgress bool
+
+	Snapshot []byte
+	Deltas   [][]byte
+}
+
+// resultMsg is a finished job: the materialized instance as a wire
+// snapshot, the engine statistics, and — when the job recorded its
+// derivation — the deterministic derivation rendering, which the
+// coordinator side compares byte-for-byte against in-process runs.
+type resultMsg struct {
+	Terminated bool
+	Stats      chase.Stats
+	Snapshot   []byte
+	Derivation string
+}
+
+// errorMsg is a typed failure: the service taxonomy name as the code
+// (ErrorKind.String / ParseErrorKind) plus the rendered cause.
+type errorMsg struct {
+	Code    string
+	Message string
+}
+
+// Submit flag bits.
+const (
+	flagRecordDerivation = 1 << iota
+	flagTrackForest
+	flagNoSemiNaive
+	flagWantProgress
+)
+
+// Result flag bits.
+const flagTerminated = 1
+
+// mwriter builds message bodies: unsigned varints, zigzag-signed
+// varints, length-prefixed strings and blobs.
+type mwriter struct {
+	buf []byte
+}
+
+func (w *mwriter) uint(v uint64)             { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *mwriter) int(v int64)               { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *mwriter) str(s string)              { w.uint(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *mwriter) blob(b []byte)             { w.uint(uint64(len(b))); w.buf = append(w.buf, b...) }
+func (w *mwriter) byte(b byte)               { w.buf = append(w.buf, b) }
+func (w *mwriter) fp(fp compile.Fingerprint) { w.buf = append(w.buf, fp[:]...) }
+
+// stats writes the full chase.Stats in field order.
+func (w *mwriter) stats(s chase.Stats) {
+	for _, v := range statsFields(&s) {
+		w.uint(uint64(*v))
+	}
+}
+
+// statsFields enumerates the Stats fields in their one wire order.
+func statsFields(s *chase.Stats) [10]*int {
+	return [10]*int{
+		&s.InitialAtoms, &s.Atoms, &s.Rounds,
+		&s.TriggersConsidered, &s.TriggersFired,
+		&s.Nulls, &s.MaxDepth,
+		&s.CompileHits, &s.CompileMisses, &s.ArenaBlocks,
+	}
+}
+
+// mreader consumes message bodies with the same defensive posture as
+// internal/wire's reader: every length is checked against the remaining
+// input before a single byte is allocated, so hostile bodies fail with
+// ErrFrame instead of panicking or ballooning.
+type mreader struct {
+	data []byte
+	pos  int
+}
+
+func (r *mreader) remaining() int { return len(r.data) - r.pos }
+
+func (r *mreader) uint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s varint", ErrFrame, what)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *mreader) int(what string) (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s varint", ErrFrame, what)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// count reads a length/count varint bounded by the remaining input: a
+// record costs at least one byte, so a count beyond remaining() is
+// corrupt regardless of record shape.
+func (r *mreader) count(what string) (int, error) {
+	v, err := r.uint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds %d remaining bytes", ErrFrame, what, v, r.remaining())
+	}
+	return int(v), nil
+}
+
+// size reads an int-valued field that must fit a non-negative int.
+func (r *mreader) size(what string) (int, error) {
+	v, err := r.uint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: %s %d out of range", ErrFrame, what, v)
+	}
+	return int(v), nil
+}
+
+func (r *mreader) str(what string) (string, error) {
+	n, err := r.count(what + " length")
+	if err != nil {
+		return "", err
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+func (r *mreader) blob(what string) ([]byte, error) {
+	n, err := r.count(what + " length")
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.pos:r.pos+n])
+	r.pos += n
+	return b, nil
+}
+
+func (r *mreader) byte(what string) (byte, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("%w: truncated %s byte", ErrFrame, what)
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *mreader) fp() (compile.Fingerprint, error) {
+	var fp compile.Fingerprint
+	if r.remaining() < len(fp) {
+		return fp, fmt.Errorf("%w: truncated fingerprint", ErrFrame)
+	}
+	copy(fp[:], r.data[r.pos:])
+	r.pos += len(fp)
+	return fp, nil
+}
+
+func (r *mreader) stats() (chase.Stats, error) {
+	var s chase.Stats
+	for _, f := range statsFields(&s) {
+		v, err := r.size("stats field")
+		if err != nil {
+			return s, err
+		}
+		*f = v
+	}
+	return s, nil
+}
+
+// done rejects trailing bytes: a valid body is consumed exactly, which
+// is what makes encode∘decode a fixpoint on valid frames.
+func (r *mreader) done() error {
+	if r.pos != len(r.data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, r.remaining())
+	}
+	return nil
+}
+
+func encodeRegister(m registerMsg) []byte {
+	w := &mwriter{}
+	w.str(m.Rules)
+	return w.buf
+}
+
+func decodeRegister(body []byte) (registerMsg, error) {
+	r := &mreader{data: body}
+	rules, err := r.str("rules")
+	if err != nil {
+		return registerMsg{}, err
+	}
+	return registerMsg{Rules: rules}, r.done()
+}
+
+func encodeRegistered(m registeredMsg) []byte {
+	w := &mwriter{}
+	w.fp(m.Fingerprint)
+	return w.buf
+}
+
+func decodeRegistered(body []byte) (registeredMsg, error) {
+	r := &mreader{data: body}
+	fp, err := r.fp()
+	if err != nil {
+		return registeredMsg{}, err
+	}
+	return registeredMsg{Fingerprint: fp}, r.done()
+}
+
+func encodeSubmit(m submitMsg) []byte {
+	w := &mwriter{}
+	w.str(m.Name)
+	w.str(m.Tenant)
+	w.int(int64(m.Priority))
+	w.fp(m.Fingerprint)
+	w.byte(byte(m.Variant))
+	w.uint(uint64(m.MaxAtoms))
+	w.uint(uint64(m.MaxRounds))
+	w.uint(uint64(m.Workers))
+	var flags byte
+	if m.RecordDerivation {
+		flags |= flagRecordDerivation
+	}
+	if m.TrackForest {
+		flags |= flagTrackForest
+	}
+	if m.NoSemiNaive {
+		flags |= flagNoSemiNaive
+	}
+	if m.WantProgress {
+		flags |= flagWantProgress
+	}
+	w.byte(flags)
+	w.blob(m.Snapshot)
+	w.uint(uint64(len(m.Deltas)))
+	for _, d := range m.Deltas {
+		w.blob(d)
+	}
+	return w.buf
+}
+
+func decodeSubmit(body []byte) (submitMsg, error) {
+	r := &mreader{data: body}
+	var m submitMsg
+	var err error
+	if m.Name, err = r.str("name"); err != nil {
+		return m, err
+	}
+	if m.Tenant, err = r.str("tenant"); err != nil {
+		return m, err
+	}
+	prio, err := r.int("priority")
+	if err != nil {
+		return m, err
+	}
+	if prio < math.MinInt32 || prio > math.MaxInt32 {
+		return m, fmt.Errorf("%w: priority %d out of range", ErrFrame, prio)
+	}
+	m.Priority = service.Priority(prio)
+	if m.Fingerprint, err = r.fp(); err != nil {
+		return m, err
+	}
+	variant, err := r.byte("variant")
+	if err != nil {
+		return m, err
+	}
+	switch chase.Variant(variant) {
+	case chase.SemiOblivious, chase.Oblivious, chase.Restricted:
+		m.Variant = chase.Variant(variant)
+	default:
+		return m, fmt.Errorf("%w: unknown chase variant %d", ErrFrame, variant)
+	}
+	if m.MaxAtoms, err = r.size("maxAtoms"); err != nil {
+		return m, err
+	}
+	if m.MaxRounds, err = r.size("maxRounds"); err != nil {
+		return m, err
+	}
+	if m.Workers, err = r.size("workers"); err != nil {
+		return m, err
+	}
+	flags, err := r.byte("flags")
+	if err != nil {
+		return m, err
+	}
+	if flags&^(flagRecordDerivation|flagTrackForest|flagNoSemiNaive|flagWantProgress) != 0 {
+		return m, fmt.Errorf("%w: unknown submit flags %#x", ErrFrame, flags)
+	}
+	m.RecordDerivation = flags&flagRecordDerivation != 0
+	m.TrackForest = flags&flagTrackForest != 0
+	m.NoSemiNaive = flags&flagNoSemiNaive != 0
+	m.WantProgress = flags&flagWantProgress != 0
+	if m.Snapshot, err = r.blob("snapshot"); err != nil {
+		return m, err
+	}
+	n, err := r.count("delta")
+	if err != nil {
+		return m, err
+	}
+	for i := 0; i < n; i++ {
+		d, err := r.blob("delta")
+		if err != nil {
+			return m, err
+		}
+		m.Deltas = append(m.Deltas, d)
+	}
+	return m, r.done()
+}
+
+func encodeProgress(s chase.Stats) []byte {
+	w := &mwriter{}
+	w.stats(s)
+	return w.buf
+}
+
+func decodeProgress(body []byte) (chase.Stats, error) {
+	r := &mreader{data: body}
+	s, err := r.stats()
+	if err != nil {
+		return s, err
+	}
+	return s, r.done()
+}
+
+func encodeResult(m resultMsg) []byte {
+	w := &mwriter{}
+	var flags byte
+	if m.Terminated {
+		flags |= flagTerminated
+	}
+	w.byte(flags)
+	w.stats(m.Stats)
+	w.blob(m.Snapshot)
+	w.str(m.Derivation)
+	return w.buf
+}
+
+func decodeResult(body []byte) (resultMsg, error) {
+	r := &mreader{data: body}
+	var m resultMsg
+	flags, err := r.byte("flags")
+	if err != nil {
+		return m, err
+	}
+	if flags&^flagTerminated != 0 {
+		return m, fmt.Errorf("%w: unknown result flags %#x", ErrFrame, flags)
+	}
+	m.Terminated = flags&flagTerminated != 0
+	if m.Stats, err = r.stats(); err != nil {
+		return m, err
+	}
+	if m.Snapshot, err = r.blob("snapshot"); err != nil {
+		return m, err
+	}
+	if m.Derivation, err = r.str("derivation"); err != nil {
+		return m, err
+	}
+	return m, r.done()
+}
+
+func encodeError(m errorMsg) []byte {
+	w := &mwriter{}
+	w.str(m.Code)
+	w.str(m.Message)
+	return w.buf
+}
+
+func decodeError(body []byte) (errorMsg, error) {
+	r := &mreader{data: body}
+	var m errorMsg
+	var err error
+	if m.Code, err = r.str("code"); err != nil {
+		return m, err
+	}
+	if m.Message, err = r.str("message"); err != nil {
+		return m, err
+	}
+	return m, r.done()
+}

@@ -469,6 +469,19 @@ func (s *Scheduler) submit(ctx context.Context, j Job, progress chan chase.Stats
 	// scheduler's closing signal.
 	select {
 	case <-s.slots:
+		// Winning a freshly freed slot races the closing signal: a parked
+		// Submit must fail deterministically once Close has begun, so
+		// re-check under the lock and hand the slot token back rather
+		// than resurrect admission on a closed scheduler.
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			s.slots <- struct{}{}
+			s.release()
+			cancel()
+			return nil, ErrSchedulerClosed
+		}
 		s.admitted(t, obs)
 		s.enqueue(t)
 		return t, nil
@@ -609,10 +622,11 @@ func (s *Scheduler) Drain() {
 
 // Close shuts the scheduler down gracefully: admission stops (concurrent
 // and subsequent Submits fail with ErrSchedulerClosed, and Submits parked
-// on a full queue are woken to fail the same way — though one racing the
-// shutdown against a freshly freed slot may win the slot and be admitted
-// normally), every admitted job still runs to completion with its result
-// delivered, and the workers exit. Close is idempotent and safe to call
+// on a full queue are woken to fail the same way — a parked Submit that
+// wins a freshly freed slot against the shutdown re-checks the closed
+// flag and hands the slot back, so admission after Close never happens),
+// every admitted job still runs to completion with its result delivered,
+// and the workers exit. Close is idempotent and safe to call
 // concurrently; it returns once the scheduler is fully stopped.
 func (s *Scheduler) Close() {
 	s.mu.Lock()

@@ -68,6 +68,31 @@ func (k ErrorKind) String() string {
 	}
 }
 
+// ParseErrorKind parses a taxonomy name as rendered by ErrorKind.String
+// — the form that crosses process boundaries as a wire error code. The
+// ok result is false for names outside the taxonomy, which a transport
+// should fold into KindInternal rather than drop.
+func ParseErrorKind(s string) (ErrorKind, bool) {
+	switch s {
+	case "bad-request":
+		return KindBadRequest, true
+	case "unknown-ontology":
+		return KindUnknownOntology, true
+	case "decode":
+		return KindDecode, true
+	case "overloaded":
+		return KindOverloaded, true
+	case "unavailable":
+		return KindUnavailable, true
+	case "canceled":
+		return KindCanceled, true
+	case "internal":
+		return KindInternal, true
+	default:
+		return KindInternal, false
+	}
+}
+
 // Error is the service's typed error envelope: every error a Submit or a
 // Result carries is one of these, holding the taxonomy kind, the
 // operation and job it belongs to, and the underlying cause (reachable

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/logic"
 	"repro/internal/parser"
@@ -17,8 +18,10 @@ import (
 // tool (or a future listener) replays through the service layer. Exactly
 // the envelope fields that make sense at rest are representable;
 // in-process-only fields (Progress callbacks, executors, live payloads)
-// are not. Relative paths are resolved against the request file's own
-// directory.
+// are not. Every referenced path is resolved against the request file's
+// own directory and confined to it: absolute paths and ".."-escapes are
+// rejected across all file fields (program, data, rules, snapshot,
+// deltas, checkpoint) by one shared resolver.
 type RequestFile struct {
 	// Kind selects the operation: "chase", "decide", "experiment", or
 	// "resume" (continue a checkpointed chase over a delta).
@@ -78,12 +81,33 @@ func LoadRequestFile(path string) (*RequestFile, error) {
 	return f, nil
 }
 
-// resolve makes a referenced path absolute relative to the request file.
-func (f *RequestFile) resolve(path string) string {
-	if path == "" || filepath.IsAbs(path) {
-		return path
+// resolve maps a referenced path into the request file's directory. One
+// resolver serves every file field, and it confines references: a
+// request may only name files in or below its own directory, so a
+// replayed envelope can never be steered at /etc/passwd-style targets —
+// absolute paths and ".."-escapes are rejected with the offending field
+// named.
+func (f *RequestFile) resolve(field, path string) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("request names an empty %s path", field)
 	}
-	return filepath.Join(f.dir, path)
+	if filepath.IsAbs(path) {
+		return "", fmt.Errorf("request %s %q: absolute paths escape the request directory", field, path)
+	}
+	clean := filepath.Clean(path)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("request %s %q: path escapes the request directory", field, path)
+	}
+	return filepath.Join(f.dir, clean), nil
+}
+
+// readRef resolves a referenced path and reads the file it names.
+func (f *RequestFile) readRef(field, path string) ([]byte, error) {
+	p, err := f.resolve(field, path)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
 }
 
 // meta builds the RequestMeta.
@@ -103,7 +127,7 @@ func (f *RequestFile) inputs() (Payload, *tgds.Set, error) {
 	)
 	switch {
 	case f.Program != "":
-		src, err := os.ReadFile(f.resolve(f.Program))
+		src, err := f.readRef("program", f.Program)
 		if err != nil {
 			return Payload{}, nil, err
 		}
@@ -113,7 +137,7 @@ func (f *RequestFile) inputs() (Payload, *tgds.Set, error) {
 		}
 		db, rules = prog.Database, prog.Rules
 	case f.Rules != "":
-		src, err := os.ReadFile(f.resolve(f.Rules))
+		src, err := f.readRef("rules", f.Rules)
 		if err != nil {
 			return Payload{}, nil, err
 		}
@@ -121,7 +145,7 @@ func (f *RequestFile) inputs() (Payload, *tgds.Set, error) {
 			return Payload{}, nil, err
 		}
 		if f.Data != "" {
-			dsrc, err := os.ReadFile(f.resolve(f.Data))
+			dsrc, err := f.readRef("data", f.Data)
 			if err != nil {
 				return Payload{}, nil, err
 			}
@@ -140,13 +164,13 @@ func (f *RequestFile) inputs() (Payload, *tgds.Set, error) {
 	if f.Snapshot != "" {
 		// A wire-encoded instance replaces the parsed facts; the service
 		// decodes it at admission.
-		snap, err := os.ReadFile(f.resolve(f.Snapshot))
+		snap, err := f.readRef("snapshot", f.Snapshot)
 		if err != nil {
 			return Payload{}, nil, err
 		}
 		p := Payload{Snapshot: snap}
 		for _, d := range f.Deltas {
-			delta, err := os.ReadFile(f.resolve(d))
+			delta, err := f.readRef("delta", d)
 			if err != nil {
 				return Payload{}, nil, err
 			}
@@ -218,13 +242,13 @@ func (f *RequestFile) DeltaRequest() (DeltaRequest, error) {
 		MaxAtoms:  f.MaxAtoms,
 		MaxRounds: f.MaxRounds,
 	}
-	if req.Checkpoint, err = os.ReadFile(f.resolve(f.Checkpoint)); err != nil {
+	if req.Checkpoint, err = f.readRef("checkpoint", f.Checkpoint); err != nil {
 		return DeltaRequest{}, err
 	}
 	var facts *logic.Instance
 	switch {
 	case f.Program != "":
-		src, err := os.ReadFile(f.resolve(f.Program))
+		src, err := f.readRef("program", f.Program)
 		if err != nil {
 			return DeltaRequest{}, err
 		}
@@ -235,7 +259,7 @@ func (f *RequestFile) DeltaRequest() (DeltaRequest, error) {
 		facts = prog.Database
 		req.Ontology = OntologyRef{Set: prog.Rules}
 	case f.Rules != "":
-		src, err := os.ReadFile(f.resolve(f.Rules))
+		src, err := f.readRef("rules", f.Rules)
 		if err != nil {
 			return DeltaRequest{}, err
 		}
@@ -246,7 +270,7 @@ func (f *RequestFile) DeltaRequest() (DeltaRequest, error) {
 		req.Ontology = OntologyRef{Set: rules}
 	}
 	if f.Data != "" {
-		src, err := os.ReadFile(f.resolve(f.Data))
+		src, err := f.readRef("data", f.Data)
 		if err != nil {
 			return DeltaRequest{}, err
 		}
@@ -258,7 +282,7 @@ func (f *RequestFile) DeltaRequest() (DeltaRequest, error) {
 		req.Delta = facts.Atoms()
 	}
 	for _, d := range f.Deltas {
-		blob, err := os.ReadFile(f.resolve(d))
+		blob, err := f.readRef("delta", d)
 		if err != nil {
 			return DeltaRequest{}, err
 		}

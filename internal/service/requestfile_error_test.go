@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -12,10 +13,16 @@ import (
 // that silently lacks what it named.
 func TestRequestFileBuildErrors(t *testing.T) {
 	dir := t.TempDir()
-	good := writeFile(t, dir, "good.dlgp", "p(a).\np(X) -> q(X).\n")
-	bad := writeFile(t, dir, "bad.dlgp", "p(a ->")
-	goodRules := writeFile(t, dir, "rules.dlgp", "p(X) -> q(X).\n")
-	goodData := writeFile(t, dir, "data.dlgp", "p(a).\n")
+	abs := writeFile(t, dir, "good.dlgp", "p(a).\np(X) -> q(X).\n")
+	writeFile(t, dir, "bad.dlgp", "p(a ->")
+	writeFile(t, dir, "rules.dlgp", "p(X) -> q(X).\n")
+	writeFile(t, dir, "data.dlgp", "p(a).\n")
+	const (
+		good      = "good.dlgp"
+		bad       = "bad.dlgp"
+		goodRules = "rules.dlgp"
+		goodData  = "data.dlgp"
+	)
 
 	chase := map[string]RequestFile{
 		"missing program":  {Program: "nope.dlgp"},
@@ -30,6 +37,15 @@ func TestRequestFileBuildErrors(t *testing.T) {
 		"missing delta":    {Program: good, Snapshot: good, Deltas: []string{"nope.bin"}},
 		"bad priority":     {Program: good, Priority: "urgent"},
 		"bad engine":       {Program: good, Engine: "turbo"},
+		// The shared resolver confines every file field to the request
+		// directory: absolute paths and ..-escapes are rejected even when
+		// the target exists and parses.
+		"absolute program":  {Program: abs},
+		"escaping program":  {Program: "../good.dlgp"},
+		"absolute rules":    {Rules: abs},
+		"escaping data":     {Rules: goodRules, Data: filepath.Join("sub", "..", "..", "data.dlgp")},
+		"absolute snapshot": {Program: good, Snapshot: abs},
+		"absolute delta":    {Program: good, Snapshot: good, Deltas: []string{abs}},
 	}
 	for name, f := range chase {
 		t.Run("chase/"+name, func(t *testing.T) {
@@ -71,18 +87,21 @@ func TestRequestFileBuildErrors(t *testing.T) {
 		})
 	}
 
-	cp := writeFile(t, dir, "run.cp", "not a real artifact, but readable")
+	writeFile(t, dir, "run.cp", "not a real artifact, but readable")
+	const cp = "run.cp"
 	resume := map[string]RequestFile{
-		"no checkpoint":      {Kind: "resume"},
-		"missing checkpoint": {Kind: "resume", Checkpoint: "nope.cp"},
-		"bad priority":       {Kind: "resume", Checkpoint: cp, Priority: "urgent"},
-		"missing program":    {Kind: "resume", Checkpoint: cp, Program: "nope.dlgp"},
-		"bad program":        {Kind: "resume", Checkpoint: cp, Program: bad},
-		"missing rules":      {Kind: "resume", Checkpoint: cp, Rules: "nope.dlgp"},
-		"bad rules":          {Kind: "resume", Checkpoint: cp, Rules: bad},
-		"missing data":       {Kind: "resume", Checkpoint: cp, Rules: goodRules, Data: "nope.dlgp"},
-		"bad data":           {Kind: "resume", Checkpoint: cp, Rules: goodRules, Data: bad},
-		"missing delta blob": {Kind: "resume", Checkpoint: cp, Deltas: []string{"nope.bin"}},
+		"no checkpoint":       {Kind: "resume"},
+		"missing checkpoint":  {Kind: "resume", Checkpoint: "nope.cp"},
+		"bad priority":        {Kind: "resume", Checkpoint: cp, Priority: "urgent"},
+		"missing program":     {Kind: "resume", Checkpoint: cp, Program: "nope.dlgp"},
+		"bad program":         {Kind: "resume", Checkpoint: cp, Program: bad},
+		"missing rules":       {Kind: "resume", Checkpoint: cp, Rules: "nope.dlgp"},
+		"bad rules":           {Kind: "resume", Checkpoint: cp, Rules: bad},
+		"missing data":        {Kind: "resume", Checkpoint: cp, Rules: goodRules, Data: "nope.dlgp"},
+		"bad data":            {Kind: "resume", Checkpoint: cp, Rules: goodRules, Data: bad},
+		"missing delta blob":  {Kind: "resume", Checkpoint: cp, Deltas: []string{"nope.bin"}},
+		"absolute checkpoint": {Kind: "resume", Checkpoint: abs},
+		"escaping checkpoint": {Kind: "resume", Checkpoint: "../run.cp"},
 	}
 	for name, f := range resume {
 		t.Run("resume/"+name, func(t *testing.T) {

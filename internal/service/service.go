@@ -76,9 +76,9 @@ type Service struct {
 	sched *rt.Scheduler
 	cache *compile.Cache
 
-	tel       *telemetry.Telemetry
-	stel      *svcTelemetry
-	prevMeter wire.Meter
+	tel          *telemetry.Telemetry
+	stel         *svcTelemetry
+	meterRelease func()
 }
 
 // New starts a service.
@@ -98,7 +98,7 @@ func New(cfg Config) *Service {
 		cache: cache,
 		tel:   cfg.Telemetry,
 	}
-	s.stel, s.prevMeter = newSvcTelemetry(cfg.Telemetry, cache)
+	s.stel, s.meterRelease = newSvcTelemetry(cfg.Telemetry, cache)
 	return s
 }
 
@@ -114,11 +114,13 @@ func (s *Service) Drain() { s.sched.Drain() }
 
 // Close shuts the service down gracefully: admission stops, admitted
 // jobs run to completion, workers exit. A telemetry-enabled service
-// also hands the process-wide wire meter back to its predecessor.
+// also withdraws its wire-meter registration, so codec traffic stops
+// billing this service's registry while any other live Service keeps
+// its own accounting undisturbed.
 func (s *Service) Close() {
 	s.sched.Close()
-	if s.stel != nil {
-		wire.SetMeter(s.prevMeter)
+	if s.meterRelease != nil {
+		s.meterRelease()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	rt "repro/internal/runtime"
@@ -113,17 +114,28 @@ func TestNamesAndTaxonomyStrings(t *testing.T) {
 	}
 }
 
-// TestRequestFileDataRules: the separate data+rules form, absolute
-// paths, and missing-file failures.
+// TestRequestFileDataRules: the separate data+rules form,
+// absolute-path rejection, and missing-file failures.
 func TestRequestFileDataRules(t *testing.T) {
 	dir := t.TempDir()
 	writeFile(t, dir, "db.dlgp", "p(a).")
 	rulesAbs := writeFile(t, dir, "rules.dlgp", "p(X) -> q(X).")
-	path := writeFile(t, dir, "req.json", fmt.Sprintf(
-		`{"kind": "decide", "data": "db.dlgp", "rules": %q, "method": "naive", "atomCap": 500}`, rulesAbs))
+	path := writeFile(t, dir, "req.json",
+		`{"kind": "decide", "data": "db.dlgp", "rules": "rules.dlgp", "method": "naive", "atomCap": 500}`)
 	f, err := LoadRequestFile(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// A request naming its rules by absolute path is rejected by the
+	// shared resolver: references are confined to the request directory.
+	escaped, err := LoadRequestFile(writeFile(t, dir, "escape.json", fmt.Sprintf(
+		`{"kind": "decide", "data": "db.dlgp", "rules": %q}`, rulesAbs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := escaped.DecideRequest(); err == nil || !strings.Contains(err.Error(), "escape") {
+		t.Fatalf("absolute rules path accepted: %v", err)
 	}
 	req, err := f.DecideRequest()
 	if err != nil {

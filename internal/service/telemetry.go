@@ -23,9 +23,11 @@ type svcTelemetry struct {
 // newSvcTelemetry wires the service families into tel's registry and
 // bridges the subsystems that keep their own counters: the compile
 // cache (published via a snapshot collector) and the wire codec (via
-// its process-wide Meter seam). It returns the installed wire meter's
-// predecessor so Close can restore it.
-func newSvcTelemetry(tel *telemetry.Telemetry, cache *compile.Cache) (*svcTelemetry, wire.Meter) {
+// its registered-meter seam). It returns the meter's release so Close
+// can withdraw exactly this service's registration — concurrent
+// Services each keep their own codec byte accounting, and Close order
+// does not matter.
+func newSvcTelemetry(tel *telemetry.Telemetry, cache *compile.Cache) (*svcTelemetry, func()) {
 	if !tel.Enabled() {
 		return nil, nil
 	}
@@ -39,13 +41,13 @@ func newSvcTelemetry(tel *telemetry.Telemetry, cache *compile.Cache) (*svcTeleme
 			"ontology"),
 	}
 	registerCacheCollector(r, cache)
-	prev := wire.SetMeter(&wireMeter{
+	release := wire.RegisterMeter(&wireMeter{
 		encoded: r.Counter("wire_encode_bytes",
 			"Bytes produced by wire snapshot/delta encodes."),
 		decoded: r.Counter("wire_decode_bytes",
 			"Bytes consumed by successful wire snapshot/delta decodes."),
 	})
-	return m, prev
+	return m, release
 }
 
 // observeRequest bills one admitted request. The ontology label is the

@@ -140,8 +140,8 @@ func TestServiceWireMeter(t *testing.T) {
 		t.Fatalf("wire_encode_bytes = %v, want >= %d", encoded, len(data))
 	}
 
-	// Close hands the meter back: encodes after Close no longer bill
-	// this service's registry.
+	// Close withdraws the registration: encodes after Close no longer
+	// bill this service's registry.
 	s.Close()
 	_ = wire.EncodeSnapshot(prog.Database)
 	after, _ := s.Metrics().Get("wire_encode_bytes")
@@ -232,5 +232,58 @@ func TestServiceHandler(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), `service_requests_total{op="chase",lane="normal",tenant="anon"} 1`) {
 		t.Fatalf("metrics exposition misses the request counter:\n%s", body)
+	}
+}
+
+// TestTwoServiceWireMeters: two concurrent telemetry-enabled Services —
+// exactly what cmd/chased plus a test coordinator create in one process
+// — each bill codec traffic to their own registry, and closing the
+// FIRST-constructed one leaves the second's accounting live. Under the
+// old process-global SetMeter, the second install stomped the first and
+// the inverted Close restored a stale meter.
+func TestTwoServiceWireMeters(t *testing.T) {
+	prog := parserProg(t, "p(a). p(X) -> q(X).")
+	snap := wire.EncodeSnapshot(prog.Database)
+
+	tel1, tel2 := telemetry.New(), telemetry.New()
+	s1 := New(Config{Workers: 1, Telemetry: tel1})
+	s2 := New(Config{Workers: 1, Telemetry: tel2})
+	defer s2.Close()
+
+	submit := func(s *Service) {
+		t.Helper()
+		tk, err := s.SubmitChase(context.Background(), ChaseRequest{
+			Database: Payload{Snapshot: snap},
+			Ontology: OntologyRef{Set: prog.Rules},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := tk.Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	// A decode through either service bills BOTH registries: the meter
+	// seam is additive, not last-install-wins.
+	submit(s1)
+	d1, _ := s1.Metrics().Get("wire_decode_bytes")
+	d2, _ := s2.Metrics().Get("wire_decode_bytes")
+	if d1 < float64(len(snap)) || d2 < float64(len(snap)) {
+		t.Fatalf("decode billing stomped: s1=%v s2=%v, want both >= %d", d1, d2, len(snap))
+	}
+
+	// Closing s1 (constructed first — the ordering inversion) must leave
+	// s2's meter registered: further traffic keeps billing s2 and stops
+	// billing s1.
+	s1.Close()
+	submit(s2)
+	d1after, _ := s1.Metrics().Get("wire_decode_bytes")
+	d2after, _ := s2.Metrics().Get("wire_decode_bytes")
+	if d1after != d1 {
+		t.Fatalf("closed service still billed: %v -> %v", d1, d1after)
+	}
+	if d2after < d2+float64(len(snap)) {
+		t.Fatalf("surviving service lost its meter: %v -> %v", d2, d2after)
 	}
 }

@@ -1,15 +1,18 @@
 package wire
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// Meter is the codec's observability seam: a process-wide listener that
-// sees the byte size of every snapshot/delta encode and decode. The
-// codec stays telemetry-agnostic — the interface is defined here so
-// this package imports nothing, and internal/service installs an
-// adapter that feeds wire_encode_bytes / wire_decode_bytes in its
-// telemetry registry. Implementations must be safe for concurrent use;
-// metering observes sizes only and never alters the encoding (the
-// fuzz-pinned byte identity of the codec is unaffected).
+// Meter is the codec's observability seam: a listener that sees the
+// byte size of every snapshot/delta encode and decode. The codec stays
+// telemetry-agnostic — the interface is defined here so this package
+// imports nothing, and internal/service installs an adapter that feeds
+// wire_encode_bytes / wire_decode_bytes in its telemetry registry.
+// Implementations must be safe for concurrent use; metering observes
+// sizes only and never alters the encoding (the fuzz-pinned byte
+// identity of the codec is unaffected).
 type Meter interface {
 	// WireEncoded observes one finished encode of n bytes.
 	WireEncoded(n int)
@@ -17,30 +20,80 @@ type Meter interface {
 	WireDecoded(n int)
 }
 
-// meter holds the installed Meter; the disabled path is one atomic load
-// and a nil check per codec call.
-var meter atomic.Pointer[Meter]
+// registration wraps an installed Meter so removal works by identity of
+// the registration itself, never by comparing Meter values (whose
+// dynamic types need not be comparable).
+type registration struct{ m Meter }
 
-// SetMeter installs (or, with nil, removes) the process-wide codec
-// meter and returns the previous one, so a caller owning a scoped
-// registry can restore its predecessor. Last install wins when several
-// serving layers race; the scheduler/service wiring installs at most
-// one per process in practice.
-func SetMeter(m Meter) (prev Meter) {
-	var p *Meter
-	if m != nil {
-		p = &m
+// meters holds the installed registrations behind one atomic pointer:
+// the disabled path stays a single load and nil check per codec call,
+// and readers never take meterMu. meterMu serializes mutations only;
+// every mutation installs a fresh slice (copy-on-write), so a
+// concurrent encode iterating the previous slice is undisturbed.
+var (
+	meterMu sync.Mutex
+	meters  atomic.Pointer[[]*registration]
+)
+
+// RegisterMeter installs a codec meter alongside any already installed
+// and returns a release function removing exactly this registration,
+// idempotently. Every registered meter observes every encode/decode
+// until its release runs: two Services metering into separate telemetry
+// registries each see the full codec traffic, and closing one — in any
+// order — never disturbs the other's accounting. A nil meter registers
+// nothing and returns a no-op release.
+func RegisterMeter(m Meter) (release func()) {
+	if m == nil {
+		return func() {}
 	}
-	if old := meter.Swap(p); old != nil {
-		prev = *old
+	reg := &registration{m: m}
+	meterMu.Lock()
+	defer meterMu.Unlock()
+	var cur []*registration
+	if p := meters.Load(); p != nil {
+		cur = *p
 	}
-	return prev
+	next := make([]*registration, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, reg)
+	meters.Store(&next)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			meterMu.Lock()
+			defer meterMu.Unlock()
+			cur := *meters.Load()
+			next := make([]*registration, 0, len(cur))
+			for _, r := range cur {
+				if r != reg {
+					next = append(next, r)
+				}
+			}
+			if len(next) == 0 {
+				meters.Store(nil)
+				return
+			}
+			meters.Store(&next)
+		})
+	}
 }
 
-// metered reports the installed meter, nil when metering is off.
-func metered() Meter {
-	if p := meter.Load(); p != nil {
-		return *p
+// meterEncoded fans one finished encode of n bytes out to every
+// registered meter.
+func meterEncoded(n int) {
+	if p := meters.Load(); p != nil {
+		for _, r := range *p {
+			r.m.WireEncoded(n)
+		}
 	}
-	return nil
+}
+
+// meterDecoded fans one successfully decoded section of n bytes out to
+// every registered meter.
+func meterDecoded(n int) {
+	if p := meters.Load(); p != nil {
+		for _, r := range *p {
+			r.m.WireDecoded(n)
+		}
+	}
 }

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// meterInstance parses a one-atom database to encode under metering.
+func meterInstance(t *testing.T) *logic.Instance {
+	t.Helper()
+	prog, err := parser.Parse("p(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Database
+}
+
+// countMeter tallies observed bytes; safe for concurrent use.
+type countMeter struct {
+	mu                 sync.Mutex
+	encoded, decoded   int
+	encodes, decodedOK int
+}
+
+func (c *countMeter) WireEncoded(n int) {
+	c.mu.Lock()
+	c.encoded += n
+	c.encodes++
+	c.mu.Unlock()
+}
+
+func (c *countMeter) WireDecoded(n int) {
+	c.mu.Lock()
+	c.decoded += n
+	c.decodedOK++
+	c.mu.Unlock()
+}
+
+func (c *countMeter) totals() (enc, dec int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.encoded, c.decoded
+}
+
+// Two registered meters both observe every encode and decode, and
+// releasing either one — in either order — leaves the other's
+// accounting undisturbed. This is the regression for the process-global
+// SetMeter design, where the second Service's install stomped the
+// first's and a Close ordering inversion restored a stale meter.
+func TestRegisterMeterConcurrentServices(t *testing.T) {
+	in := meterInstance(t)
+
+	a, b := &countMeter{}, &countMeter{}
+	releaseA := RegisterMeter(a)
+	releaseB := RegisterMeter(b)
+
+	snap := EncodeSnapshot(in)
+	if _, err := DecodeSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	aEnc, aDec := a.totals()
+	bEnc, bDec := b.totals()
+	if aEnc != len(snap) || bEnc != len(snap) {
+		t.Fatalf("encode billing: a=%d b=%d, want both %d", aEnc, bEnc, len(snap))
+	}
+	if aDec != len(snap) || bDec != len(snap) {
+		t.Fatalf("decode billing: a=%d b=%d, want both %d", aDec, bDec, len(snap))
+	}
+
+	// Release the FIRST registration (the inversion that used to restore
+	// a stale meter): B must keep observing, A must stop.
+	releaseA()
+	snap2 := EncodeSnapshot(in)
+	if aEnc2, _ := a.totals(); aEnc2 != aEnc {
+		t.Fatalf("released meter still billed: %d -> %d", aEnc, aEnc2)
+	}
+	if bEnc2, _ := b.totals(); bEnc2 != bEnc+len(snap2) {
+		t.Fatalf("surviving meter missed an encode: %d, want %d", bEnc2, bEnc+len(snap2))
+	}
+
+	// Double release is a no-op; releasing the last meter turns metering
+	// off entirely.
+	releaseA()
+	releaseB()
+	_ = EncodeSnapshot(in)
+	if bEnc3, _ := b.totals(); bEnc3 != bEnc+len(snap2) {
+		t.Fatalf("released meter still billed: %d", bEnc3)
+	}
+	if meters.Load() != nil {
+		t.Fatal("meter registry not empty after all releases")
+	}
+
+	// A nil registration is inert.
+	RegisterMeter(nil)()
+	if meters.Load() != nil {
+		t.Fatal("nil RegisterMeter left a registration behind")
+	}
+}
+
+// Registration and release are safe against concurrent codec traffic
+// (the copy-on-write contract); run with -race.
+func TestRegisterMeterRace(t *testing.T) {
+	in := meterInstance(t)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = EncodeSnapshot(in)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		release := RegisterMeter(&countMeter{})
+		release()
+	}
+	close(stop)
+	wg.Wait()
+	if meters.Load() != nil {
+		t.Fatal("meter registry not empty after churn")
+	}
+}

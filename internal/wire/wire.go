@@ -131,9 +131,7 @@ func EncodeSnapshot(in *logic.Instance) []byte {
 	e := &encoder{buf: make([]byte, 0, 64+16*in.Len())}
 	e.header(kindSnapshot)
 	e.atoms(in.Atoms())
-	if m := metered(); m != nil {
-		m.WireEncoded(len(e.buf))
-	}
+	meterEncoded(len(e.buf))
 	return e.buf
 }
 
@@ -152,9 +150,7 @@ func EncodeDelta(in *logic.Instance, from int) []byte {
 	e.header(kindDelta)
 	e.uint(uint64(from))
 	e.atoms(all[from:])
-	if m := metered(); m != nil {
-		m.WireEncoded(len(e.buf))
-	}
+	meterEncoded(len(e.buf))
 	return e.buf
 }
 
@@ -315,9 +311,7 @@ func (d *Decoder) Snapshot(data []byte) (*logic.Instance, error) {
 	if err := d.section(r, in); err != nil {
 		return nil, d.poison(err)
 	}
-	if m := metered(); m != nil {
-		m.WireDecoded(len(data))
-	}
+	meterDecoded(len(data))
 	d.inst = in
 	return in, nil
 }
@@ -352,9 +346,7 @@ func (d *Decoder) Apply(data []byte) (int, error) {
 	if err := d.section(r, d.inst); err != nil {
 		return 0, d.poison(err)
 	}
-	if m := metered(); m != nil {
-		m.WireDecoded(len(data))
-	}
+	meterDecoded(len(data))
 	return d.inst.Len() - before, nil
 }
 
