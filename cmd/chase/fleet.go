@@ -59,6 +59,7 @@ func runFleet(addrs, network string, req service.ChaseRequest, engineLabel strin
 		MaxAtoms:    req.MaxAtoms,
 		MaxRounds:   req.MaxRounds,
 		Workers:     req.Workers,
+		QoS:         req.Meta.QoS,
 	}
 	if stream {
 		job.Progress = cli.ProgressPrinter(stderr, "chase")
@@ -73,7 +74,7 @@ func runFleet(addrs, network string, req service.ChaseRequest, engineLabel strin
 		fmt.Fprintln(stderr, "chase:", res.Err)
 		return 2
 	}
-	if code := emitChase(stdout, stderr, format, quiet, res.Instance, res.Stats, res.Terminated); code != 0 {
+	if code := emitChase(stdout, stderr, format, quiet, res.Instance, res.Stats, res.Terminated, res.Source); code != 0 {
 		return code
 	}
 	if stats {

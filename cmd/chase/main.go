@@ -56,6 +56,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/qos"
 	"repro/internal/service"
 )
 
@@ -82,6 +83,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		request   = cli.RequestFlag(fs)
 		workers   = cli.WorkersFlag(fs)
 		stream    = cli.StreamFlag(fs)
+		qosStr    = cli.QoSFlag(fs)
 		fleetStr  = fs.String("fleet", "", "comma-separated chased worker addresses; the chase runs remotely, stdout is byte-identical")
 		fleetNet  = fs.String("fleet-network", "tcp", "fleet worker network: tcp or unix")
 	)
@@ -91,6 +93,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a successful invocation, not CLI misuse
 		}
+		return 2
+	}
+	policy, err := qos.Parse(*qosStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "chase:", err)
 		return 2
 	}
 	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
@@ -174,6 +181,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if delta.MaxAtoms == 0 {
 			delta.MaxAtoms = *maxAtoms
 		}
+		if delta.Meta.QoS.IsZero() {
+			// A request file's own "qos" field wins over the flag.
+			delta.Meta.QoS = policy
+		}
 		delta.Workers = cli.Workers(*workers)
 		// -checkpoint on a resume chains: the resumed run captures
 		// resumable state of its own and emits a second-generation
@@ -186,6 +197,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			// its 1e6 default), so a filed chase of a non-terminating
 			// ontology is never accidentally unbounded.
 			req.MaxAtoms = *maxAtoms
+		}
+		if req.Meta.QoS.IsZero() {
+			req.Meta.QoS = policy
 		}
 		req.Workers = cli.Workers(*workers)
 		req.Checkpoint = req.Checkpoint || *cpOut != ""
@@ -239,7 +253,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	res := r.Chase
 
-	if code := emitChase(stdout, stderr, *format, *quiet, res.Instance, res.Stats, res.Terminated); code != 0 {
+	if code := emitChase(stdout, stderr, *format, *quiet, res.Instance, res.Stats, res.Terminated, r.BudgetSource); code != 0 {
 		return code
 	}
 	if *cpOut != "" {
@@ -291,7 +305,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // results are byte-identical to local ones by construction. Returns a
 // non-zero exit code only on a rendering failure; budget truncation is
 // the caller's exit-code concern.
-func emitChase(stdout, stderr io.Writer, format string, quiet bool, inst *logic.Instance, stats chase.Stats, terminated bool) int {
+func emitChase(stdout, stderr io.Writer, format string, quiet bool, inst *logic.Instance, stats chase.Stats, terminated bool, source qos.Source) int {
 	if !quiet {
 		switch format {
 		case "dlgp":
@@ -312,9 +326,11 @@ func emitChase(stdout, stderr io.Writer, format string, quiet bool, inst *logic.
 		// it lands on stdout, deterministically (the atom and round counts
 		// are byte-identical for any worker count, cache state, or fleet
 		// placement), as a dlgp comment so -format dlgp output stays
-		// re-parseable.
-		fmt.Fprintf(stdout, "%% truncated: budget exhausted after %d atoms in %d rounds; the chase may be infinite\n",
-			inst.Len(), stats.Rounds)
+		// re-parseable. The source names the budget that stopped the run
+		// (flag, deadline, or learned-bound), so anytime and bounded
+		// output is self-describing.
+		fmt.Fprintf(stdout, "%% truncated: %s budget exhausted after %d atoms in %d rounds; the chase may be infinite\n",
+			source, inst.Len(), stats.Rounds)
 	}
 	return 0
 }

@@ -8,9 +8,14 @@
 // Usage:
 //
 //	chtrm -data db.dlgp -rules onto.dlgp [-method syntactic|naive|ucq]
-//	      [-max-atoms N] [-workers N] [-show-bounds] [-stats] [-stream]
-//	      [-metrics FILE] [-trace FILE]
+//	      [-max-atoms N] [-workers N] [-qos POLICY] [-show-bounds]
+//	      [-stats] [-stream] [-metrics FILE] [-trace FILE]
 //	chtrm -request req.json [-workers N] [-stats] [-stream]
+//
+// The -qos flag applies a serving policy to the naive probe (the one
+// method that materializes a chase): "bounded" caps the probe at the
+// ontology's learned atom count, "anytime:<deadline>" bounds its wall
+// clock. See internal/qos for the grammar.
 //
 // Every decision routes through the service layer as a typed
 // DecideRequest (internal/service) — the same envelope a remote
@@ -43,6 +48,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/tgds"
 )
@@ -69,12 +75,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		request    = cli.RequestFlag(fs)
 		workers    = cli.WorkersFlag(fs)
 		stream     = cli.StreamFlag(fs)
+		qosStr     = cli.QoSFlag(fs)
 	)
 	metricsPath, tracePath := cli.TelemetryFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a successful invocation, not CLI misuse
 		}
+		return 2
+	}
+	policy, err := qos.Parse(*qosStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "chtrm:", err)
 		return 2
 	}
 
@@ -103,7 +115,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			AtomCap:  *maxAtoms,
 		}
 	}
-	// CLI-side overrides apply in both modes, like -workers and -stream.
+	// CLI-side overrides apply in both modes, like -workers and -stream;
+	// a request file's own "qos" field wins over the flag.
+	if req.Meta.QoS.IsZero() {
+		req.Meta.QoS = policy
+	}
 	if *uniform {
 		req.Method = "uniform"
 	}

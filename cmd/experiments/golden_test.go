@@ -40,6 +40,13 @@ func TestExperimentsGolden(t *testing.T) {
 			Argv: []string{"-exp", "XP-RESTRICTED", "-quick"},
 		},
 		{
+			// The anytime quality-vs-latency table carries counts only (no
+			// wall times), so it is golden-stable; the par≡seq column pins
+			// the worker-count determinism of every budgeted prefix.
+			Name: "xp-qos-quick",
+			Argv: []string{"-exp", "XP-QOS", "-quick"},
+		},
+		{
 			// Completion events stream to stderr; the table on stdout must
 			// stay byte-identical to the batch case; SameAs enforces it
 			// even under -update.

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments [-exp ID | -exp all] [-quick] [-workers N] [-format table|csv]
-//	            [-list] [-stream] [-metrics FILE] [-trace FILE]
+//	            [-qos anytime:<deadline>] [-list] [-stream]
+//	            [-metrics FILE] [-trace FILE]
 //	experiments -request req.json [-workers N] [-format table|csv]
 //
 // Every experiment runs as a typed ExperimentRequest through the service
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/qos"
 	"repro/internal/service"
 )
 
@@ -52,6 +54,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		request = cli.RequestFlag(fs)
 		workers = cli.WorkersFlag(fs)
 		stream  = cli.StreamFlag(fs)
+		qosStr  = cli.QoSFlag(fs)
 	)
 	metricsPath, tracePath := cli.TelemetryFlags(fs)
 	cpuprofile, memprofile := cli.ProfileFlags(fs)
@@ -59,6 +62,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a successful invocation, not CLI misuse
 		}
+		return 2
+	}
+	policy, err := qos.Parse(*qosStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
 		return 2
 	}
 	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
@@ -110,6 +118,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	defer svc.Close()
 	for i := range reqs {
 		reqs[i].Workers = cli.Workers(*workers)
+		// A request file's own "qos" field wins over the flag; only an
+		// anytime deadline is meaningful for a sweep (it becomes the wall
+		// budget), and the service rejects anything else.
+		if reqs[i].Meta.QoS.IsZero() {
+			reqs[i].Meta.QoS = policy
+		}
 		if *quick {
 			// Like -workers and -stream, the flag applies in request
 			// mode too (it can only tighten a sweep, never extend one).

@@ -128,6 +128,28 @@
 // fleet, pinned per scenario and variant by the equivalence suites and
 // by cmd/chase -fleet, whose goldens are the single-process ones.
 //
+// The anytime serving tier (internal/qos) turns the paper's central
+// hazard — non-uniform termination: whether the chase halts depends on
+// the database, not Σ alone — into a latency SLO. A learn-mode run
+// profiles a reference chase and stores the observed round and atom
+// counts as a LearnedBound pinned next to the compile-cache entry (per
+// fingerprint and variant; it survives entry eviction and
+// re-registration, and exports as a canonical varint blob the fleet
+// coordinator ships to cold workers alongside the ontology pull).
+// Requests carry a policy in RequestMeta.QoS: Exact is the default and
+// costs nothing (CI pins the zero policy to the hot-path allocation
+// baseline, BENCH_qos.json); Bounded serves under the learned bound,
+// failing fast with the wrap-checkable qos.ErrNoLearnedBound when none
+// was profiled; Anytime serves whatever whole rounds fit a deadline or
+// an explicit round quota. Anytime truncation happens only at round
+// boundaries (chase.Options.RoundGranularInterrupt), so the answer is a
+// whole-round prefix — byte-identical at any worker count and across
+// the fleet, like every other parallel path here. A truncated result
+// names the budget that stopped it (flag, deadline, or learned-bound)
+// in the CLI's "% truncated" marker, per-mode outcomes and deadline
+// slack are billed to telemetry, and XP-QOS quantifies the
+// completeness-vs-latency trade the tier offers.
+//
 // Observability (internal/telemetry) is a zero-dependency layer over the
 // serving plane: an atomic metrics Registry (counters, gauges,
 // fixed-bucket histograms, capped label vectors), a deterministic

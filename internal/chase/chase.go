@@ -82,6 +82,15 @@ type Options struct {
 	// (runtime.Interrupter is). The multi-job scheduler uses it to
 	// enforce wall-clock budgets and cancellation.
 	Interrupt func() bool
+	// RoundGranularInterrupt confines Interrupt polling to round
+	// boundaries: the mid-collect and mid-apply polls are skipped, so a
+	// fired interrupt stops the run only between rounds and the result is
+	// always a whole-round prefix of the derivation (never dirty, hence
+	// checkpointable, and byte-identical to a MaxRounds run of the
+	// observed round count for any worker count). The cost is cancellation
+	// latency bounded by one round instead of ~1k trigger matches; the
+	// anytime QoS tier (internal/qos) accepts that trade for determinism.
+	RoundGranularInterrupt bool
 	// Progress, when non-nil, is invoked from the engine goroutine at every
 	// round boundary — the same barrier at which Interrupt is polled — with
 	// the run's statistics so far (the final round included). The engine
@@ -419,7 +428,7 @@ func (e *engine) collect(deltaStart int) []pendingTrigger {
 		fireVars := fireVarsOf(t, e.opts.Variant)
 		yield := func(m *logic.Match) bool {
 			e.considered++
-			if e.opts.Interrupt != nil && e.considered&1023 == 0 && e.interrupted() {
+			if e.opts.Interrupt != nil && !e.opts.RoundGranularInterrupt && e.considered&1023 == 0 && e.interrupted() {
 				return false // bound how far a cancelled run overshoots
 			}
 			e.sc.keyBuf = append(e.sc.keyBuf[:0], int32(ti))
@@ -498,7 +507,7 @@ func (e *engine) apply(pending []pendingTrigger) int {
 			e.dirty = true
 			break
 		}
-		if e.opts.Interrupt != nil && pi&255 == 255 && e.interrupted() {
+		if e.opts.Interrupt != nil && !e.opts.RoundGranularInterrupt && pi&255 == 255 && e.interrupted() {
 			e.dirty = true
 			break
 		}

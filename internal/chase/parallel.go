@@ -239,7 +239,7 @@ func (e *engine) collectShard(t collectTask, w *collectWorker, out *[]shardCand,
 	w.seen.Reset()
 	yield := func(m *logic.Match) bool {
 		w.considered++
-		if e.opts.Interrupt != nil && w.considered&1023 == 0 {
+		if e.opts.Interrupt != nil && !e.opts.RoundGranularInterrupt && w.considered&1023 == 0 {
 			// Bound cancellation latency: poll the (concurrency-safe, see
 			// Options.Interrupt) predicate and fan the verdict out through
 			// the shared flag so sibling workers stop too.

@@ -43,6 +43,17 @@ func RequestFlag(fs *flag.FlagSet) *string {
 	return fs.String("request", "", "JSON request file (typed service envelope) replacing input/run flags")
 }
 
+// QoSFlag registers the conventional -qos flag: the request's serving
+// policy in internal/qos.Parse's grammar — "exact" (the default, run to
+// fixpoint under the explicit budgets), "learn" (exact, storing the
+// observed round/atom counts as the ontology's learned bound), "bounded"
+// (serve under the learned bound; rejected when none was profiled), or
+// "anytime:<deadline>[,<k>r]" (serve whatever whole rounds fit). A
+// request file's own "qos" field wins over the flag.
+func QoSFlag(fs *flag.FlagSet) *string {
+	return fs.String("qos", "", "QoS policy: exact (default), learn, bounded, or anytime:<deadline>[,<k>r]")
+}
+
 // ProgressPrinter returns a chase.Options.Progress callback that renders
 // each round-boundary snapshot as one diagnostic line on w, prefixed by
 // the tool name.

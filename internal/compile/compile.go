@@ -80,6 +80,14 @@ type Cache struct {
 	registered sync.Map // Fingerprint -> *tgds.Set
 	regCount   atomic.Int64
 
+	// bounds holds the learned termination bounds (bounds.go), keyed by
+	// (fingerprint, variant). Like registrations they are pinned — byte-
+	// accounted but exempt from LRU eviction, dropped only by Reset — so
+	// a bound survives its entry's eviction and the ontology's
+	// re-registration.
+	bounds     sync.Map // boundKey -> LearnedBound
+	boundCount atomic.Int64
+
 	bytes         atomic.Int64 // approximate bytes held by live entries
 	maxBytes      atomic.Int64 // byte budget; 0 = entry-count bound only
 	hits          atomic.Uint64
@@ -103,6 +111,7 @@ type Stats struct {
 	Hits, Misses, Evictions, Invalidations uint64
 	Entries                                int
 	Registered                             int
+	Bounds                                 int
 	Bytes                                  int64
 }
 
@@ -467,8 +476,13 @@ func (c *Cache) Reset() {
 		c.registered.Delete(k)
 		return true
 	})
+	c.bounds.Range(func(k, _ any) bool {
+		c.bounds.Delete(k)
+		return true
+	})
 	c.count.Store(0)
 	c.regCount.Store(0)
+	c.boundCount.Store(0)
 	c.bytes.Store(0)
 	c.clearFast()
 	c.hits.Store(0)
@@ -520,6 +534,7 @@ func (c *Cache) Stats() Stats {
 		Invalidations: c.invalidations.Load(),
 		Entries:       c.Len(),
 		Registered:    int(c.regCount.Load()),
+		Bounds:        int(c.boundCount.Load()),
 		Bytes:         c.bytes.Load(),
 	}
 }

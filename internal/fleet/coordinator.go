@@ -13,6 +13,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/tgds"
 	"repro/internal/wire"
@@ -41,6 +42,16 @@ type SourceFunc func(fp compile.Fingerprint) (*tgds.Set, error)
 
 // Ontology implements OntologySource.
 func (f SourceFunc) Ontology(fp compile.Fingerprint) (*tgds.Set, error) { return f(fp) }
+
+// BoundSource is the optional second face of an ontology source: learned
+// termination bounds for the fingerprint, shipped to cold workers
+// alongside the ontology pull so bounded-mode jobs serve fleet-wide
+// without re-profiling on every worker. *service.Service satisfies it
+// (its Bounds method exports the compile cache's pinned bounds); a
+// source without it simply ships no bounds.
+type BoundSource interface {
+	Bounds(fp compile.Fingerprint) []compile.VariantBound
+}
 
 // Config configures a Coordinator.
 type Config struct {
@@ -80,6 +91,9 @@ type Job struct {
 	// Workers parallelizes the run on the worker (the intra-run executor
 	// width, not the fleet width).
 	Workers int
+	// QoS is the request's serving policy, resolved on the worker against
+	// its bound store (warmed by the cold-pull handshake).
+	QoS qos.Policy
 
 	RecordDerivation bool
 	TrackForest      bool
@@ -96,9 +110,11 @@ type Result struct {
 	Worker string
 	// Terminated, Stats, Instance, and Derivation mirror the in-process
 	// chase result; Derivation is RenderDerivation's text (empty unless
-	// the job recorded one).
+	// the job recorded one). Source names the budget that stopped a
+	// truncated run (service.Result.BudgetSource across the wire).
 	Terminated bool
 	Stats      chase.Stats
+	Source     qos.Source
 	Instance   *logic.Instance
 	Derivation string
 	Err        error
@@ -333,6 +349,7 @@ func (w *workerLink) exchange(job Job) (Result, error) {
 			MaxAtoms:         job.MaxAtoms,
 			MaxRounds:        job.MaxRounds,
 			Workers:          job.Workers,
+			QoS:              job.QoS,
 			RecordDerivation: job.RecordDerivation,
 			TrackForest:      job.TrackForest,
 			NoSemiNaive:      job.NoSemiNaive,
@@ -383,6 +400,7 @@ func (w *workerLink) answer(job Job, pulled *bool) (res Result, retry bool, err 
 			return Result{
 				Terminated: m.Terminated,
 				Stats:      m.Stats,
+				Source:     m.Source,
 				Instance:   inst,
 				Derivation: m.Derivation,
 			}, false, nil
@@ -407,9 +425,10 @@ func (w *workerLink) answer(job Job, pulled *bool) (res Result, retry bool, err 
 }
 
 // coldPull warms the worker: fetch Σ from the source, ship it as dlgp
-// text, and verify the worker's ack reproduces the fingerprint (the
-// canonical fingerprint is process-stable, so a mismatch is corruption,
-// not drift).
+// text — with the source's learned termination bounds piggybacked when
+// it has any — and verify the worker's ack reproduces the fingerprint
+// (the canonical fingerprint is process-stable, so a mismatch is
+// corruption, not drift).
 func (w *workerLink) coldPull(fp compile.Fingerprint) error {
 	sigma, err := w.cfg.Source.Ontology(fp)
 	if err != nil {
@@ -419,7 +438,11 @@ func (w *workerLink) coldPull(fp compile.Fingerprint) error {
 	if err := parser.FormatRules(&b, sigma); err != nil {
 		return err
 	}
-	if err := w.send(kindRegister, encodeRegister(registerMsg{Rules: b.String()})); err != nil {
+	var bounds []byte
+	if bs, ok := w.cfg.Source.(BoundSource); ok {
+		bounds = qos.EncodeBounds(bs.Bounds(fp))
+	}
+	if err := w.send(kindRegister, encodeRegister(registerMsg{Rules: b.String(), Bounds: bounds})); err != nil {
 		return err
 	}
 	kind, body, err := readFrame(w.br)
@@ -466,13 +489,18 @@ func decodePayload(snapshot []byte) (*logic.Instance, error) {
 
 // remoteError reconstructs a typed service error from a wire error
 // frame: the taxonomy kind round-trips through its name, and the
-// unknown-ontology code re-wraps service.ErrUnknownOntology so
-// errors.Is works across the process boundary exactly as in-process.
+// sentinels re-wrap so errors.Is works across the process boundary
+// exactly as in-process — the unknown-ontology code by its kind, the
+// missing-learned-bound rejection (a bad-request, so no kind of its
+// own) by its sentinel text in the message.
 func remoteError(name, addr string, m errorMsg) error {
 	kind, _ := service.ParseErrorKind(m.Code)
 	cause := fmt.Errorf("worker %s: %s", addr, m.Message)
-	if kind == service.KindUnknownOntology {
+	switch {
+	case kind == service.KindUnknownOntology:
 		cause = fmt.Errorf("%w: worker %s: %s", service.ErrUnknownOntology, addr, m.Message)
+	case kind == service.KindBadRequest && strings.Contains(m.Message, qos.ErrNoLearnedBound.Error()):
+		cause = fmt.Errorf("%w: worker %s: %s", qos.ErrNoLearnedBound, addr, m.Message)
 	}
 	return &service.Error{Kind: kind, Op: service.OpChase, Name: name, Err: cause}
 }

@@ -3,9 +3,11 @@ package fleet
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/compile"
+	"repro/internal/qos"
 )
 
 // FuzzFleetFrame throws arbitrary bytes at the frame decoder and, for
@@ -15,6 +17,13 @@ import (
 // equivalence suites lean on).
 func FuzzFleetFrame(f *testing.F) {
 	f.Add(appendFrame(nil, kindRegister, encodeRegister(registerMsg{Rules: "p(X) -> q(X)."})))
+	f.Add(appendFrame(nil, kindRegister, encodeRegister(registerMsg{
+		Rules: "p(X) -> q(X).",
+		Bounds: qos.EncodeBounds([]compile.VariantBound{
+			{Variant: chase.SemiOblivious, Bound: compile.LearnedBound{Rounds: 3, Atoms: 40, Observed: true}},
+			{Variant: chase.Restricted, Bound: compile.LearnedBound{Rounds: 2, Atoms: 12}},
+		}),
+	})))
 	f.Add(appendFrame(nil, kindRegistered, encodeRegistered(registeredMsg{Fingerprint: compile.Fingerprint{1, 2, 3}})))
 	f.Add(appendFrame(nil, kindSubmit, encodeSubmit(submitMsg{
 		Name: "job", Tenant: "acme", Priority: -3, Variant: chase.Restricted,
@@ -22,9 +31,20 @@ func FuzzFleetFrame(f *testing.F) {
 		RecordDerivation: true, WantProgress: true,
 		Snapshot: []byte("snap"), Deltas: [][]byte{[]byte("d1"), nil},
 	})))
+	f.Add(appendFrame(nil, kindSubmit, encodeSubmit(submitMsg{
+		Name: "anytime", Variant: chase.SemiOblivious,
+		QoS:      qos.Policy{Mode: qos.Anytime, Deadline: 250 * time.Millisecond, Rounds: 3},
+		Snapshot: []byte("snap"),
+	})))
+	f.Add(appendFrame(nil, kindSubmit, encodeSubmit(submitMsg{
+		Name: "learn", QoS: qos.Policy{Learn: true}, Snapshot: []byte("snap"),
+	})))
 	f.Add(appendFrame(nil, kindProgress, encodeProgress(chase.Stats{Atoms: 9, Rounds: 2, Nulls: 1})))
 	f.Add(appendFrame(nil, kindResult, encodeResult(resultMsg{
 		Terminated: true, Stats: chase.Stats{Atoms: 5}, Snapshot: []byte("s"), Derivation: "initial 1\n",
+	})))
+	f.Add(appendFrame(nil, kindResult, encodeResult(resultMsg{
+		Stats: chase.Stats{Atoms: 5, Rounds: 3}, Source: qos.SourceDeadline, Snapshot: []byte("s"),
 	})))
 	f.Add(appendFrame(nil, kindError, encodeError(errorMsg{Code: "unknown-ontology", Message: "no such σ"})))
 	f.Add([]byte{'F', 'L', Version, kindSubmit, 0, 0, 0, 0})

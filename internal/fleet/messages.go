@@ -4,18 +4,24 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/compile"
+	"repro/internal/qos"
 	"repro/internal/service"
 )
 
 // registerMsg ships Σ to a cold worker as dlgp text — the same
 // canonical rendering parser.FormatRules pins with a parse→format
 // fixpoint, so registering the shipped text reproduces the fingerprint
-// of the original set.
+// of the original set. Bounds piggybacks the ontology's learned
+// termination bounds (qos.EncodeBounds blob, empty when none were
+// profiled) so a cold worker can serve bounded-mode jobs without its
+// own reference run.
 type registerMsg struct {
-	Rules string
+	Rules  string
+	Bounds []byte
 }
 
 // registeredMsg acks a Register with the fingerprint the worker
@@ -37,6 +43,10 @@ type submitMsg struct {
 	MaxAtoms    int
 	MaxRounds   int
 	Workers     int
+	// QoS carries the request's serving policy: the mode byte, the
+	// anytime deadline (nanoseconds) and round quota as varints, and the
+	// learn bit folded into the submit flags.
+	QoS qos.Policy
 	// Flags.
 	RecordDerivation bool
 	TrackForest      bool
@@ -53,9 +63,13 @@ type submitMsg struct {
 // snapshot, the engine statistics, and — when the job recorded its
 // derivation — the deterministic derivation rendering, which the
 // coordinator side compares byte-for-byte against in-process runs.
+// Source names the budget that stopped a truncated run (meaningful
+// only when Terminated is false), so the coordinator's truncation
+// marker matches the in-process one byte for byte.
 type resultMsg struct {
 	Terminated bool
 	Stats      chase.Stats
+	Source     qos.Source
 	Snapshot   []byte
 	Derivation string
 }
@@ -73,6 +87,7 @@ const (
 	flagTrackForest
 	flagNoSemiNaive
 	flagWantProgress
+	flagLearnBound
 )
 
 // Result flag bits.
@@ -227,16 +242,24 @@ func (r *mreader) done() error {
 func encodeRegister(m registerMsg) []byte {
 	w := &mwriter{}
 	w.str(m.Rules)
+	w.blob(m.Bounds)
 	return w.buf
 }
 
 func decodeRegister(body []byte) (registerMsg, error) {
 	r := &mreader{data: body}
-	rules, err := r.str("rules")
-	if err != nil {
+	var m registerMsg
+	var err error
+	if m.Rules, err = r.str("rules"); err != nil {
 		return registerMsg{}, err
 	}
-	return registerMsg{Rules: rules}, r.done()
+	if m.Bounds, err = r.blob("bounds"); err != nil {
+		return registerMsg{}, err
+	}
+	if len(m.Bounds) == 0 {
+		m.Bounds = nil
+	}
+	return m, r.done()
 }
 
 func encodeRegistered(m registeredMsg) []byte {
@@ -264,7 +287,13 @@ func encodeSubmit(m submitMsg) []byte {
 	w.uint(uint64(m.MaxAtoms))
 	w.uint(uint64(m.MaxRounds))
 	w.uint(uint64(m.Workers))
+	w.byte(byte(m.QoS.Mode))
+	w.uint(uint64(m.QoS.Deadline))
+	w.uint(uint64(m.QoS.Rounds))
 	var flags byte
+	if m.QoS.Learn {
+		flags |= flagLearnBound
+	}
 	if m.RecordDerivation {
 		flags |= flagRecordDerivation
 	}
@@ -326,13 +355,33 @@ func decodeSubmit(body []byte) (submitMsg, error) {
 	if m.Workers, err = r.size("workers"); err != nil {
 		return m, err
 	}
+	mode, err := r.byte("qos mode")
+	if err != nil {
+		return m, err
+	}
+	if mode > byte(qos.Anytime) {
+		return m, fmt.Errorf("%w: unknown QoS mode %d", ErrFrame, mode)
+	}
+	m.QoS.Mode = qos.Mode(mode)
+	deadline, err := r.uint("qos deadline")
+	if err != nil {
+		return m, err
+	}
+	if deadline > math.MaxInt64 {
+		return m, fmt.Errorf("%w: QoS deadline %d out of range", ErrFrame, deadline)
+	}
+	m.QoS.Deadline = time.Duration(deadline)
+	if m.QoS.Rounds, err = r.size("qos rounds"); err != nil {
+		return m, err
+	}
 	flags, err := r.byte("flags")
 	if err != nil {
 		return m, err
 	}
-	if flags&^(flagRecordDerivation|flagTrackForest|flagNoSemiNaive|flagWantProgress) != 0 {
+	if flags&^(flagRecordDerivation|flagTrackForest|flagNoSemiNaive|flagWantProgress|flagLearnBound) != 0 {
 		return m, fmt.Errorf("%w: unknown submit flags %#x", ErrFrame, flags)
 	}
+	m.QoS.Learn = flags&flagLearnBound != 0
 	m.RecordDerivation = flags&flagRecordDerivation != 0
 	m.TrackForest = flags&flagTrackForest != 0
 	m.NoSemiNaive = flags&flagNoSemiNaive != 0
@@ -376,6 +425,7 @@ func encodeResult(m resultMsg) []byte {
 		flags |= flagTerminated
 	}
 	w.byte(flags)
+	w.byte(byte(m.Source))
 	w.stats(m.Stats)
 	w.blob(m.Snapshot)
 	w.str(m.Derivation)
@@ -393,6 +443,14 @@ func decodeResult(body []byte) (resultMsg, error) {
 		return m, fmt.Errorf("%w: unknown result flags %#x", ErrFrame, flags)
 	}
 	m.Terminated = flags&flagTerminated != 0
+	source, err := r.byte("budget source")
+	if err != nil {
+		return m, err
+	}
+	if source > byte(qos.SourceLearnedBound) {
+		return m, fmt.Errorf("%w: unknown budget source %d", ErrFrame, source)
+	}
+	m.Source = qos.Source(source)
 	if m.Stats, err = r.stats(); err != nil {
 		return m, err
 	}

@@ -72,6 +72,9 @@ func TestMessageDecodeAdversarial(t *testing.T) {
 	w.uint(0)      // maxAtoms
 	w.uint(0)      // maxRounds
 	w.uint(0)      // workers
+	w.byte(0)      // qos mode
+	w.uint(0)      // qos deadline
+	w.uint(0)      // qos rounds
 	w.byte(1 << 7) // unknown flag bit
 	w.blob(nil)
 	w.uint(0)
@@ -87,8 +90,24 @@ func TestMessageDecodeAdversarial(t *testing.T) {
 	if _, err := decodeSubmit(w2.buf); err == nil {
 		t.Fatal("submit with unknown variant decoded")
 	}
+	var w3 mwriter
+	w3.str("n")
+	w3.str("t")
+	w3.int(0)
+	w3.fp(compile.Fingerprint{})
+	w3.byte(0) // variant
+	w3.uint(0) // maxAtoms
+	w3.uint(0) // maxRounds
+	w3.uint(0) // workers
+	w3.byte(9) // unknown qos mode
+	if _, err := decodeSubmit(w3.buf); err == nil {
+		t.Fatal("submit with unknown QoS mode decoded")
+	}
 	if _, err := decodeResult([]byte{0xFF, 0x01}); err == nil {
 		t.Fatal("result with unknown flags decoded")
+	}
+	if _, err := decodeResult([]byte{0x01, 0x09}); err == nil {
+		t.Fatal("result with unknown budget source decoded")
 	}
 	if _, err := decodeRegistered([]byte{1, 2}); err == nil {
 		t.Fatal("short registered ack decoded")

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/parser"
+	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/wire"
 )
@@ -130,10 +131,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// serveRegister parses the shipped clauses, registers them, and acks
-// with the computed fingerprint.
+// serveRegister parses the shipped clauses, registers them, stores any
+// piggybacked learned bounds under the computed fingerprint, and acks
+// with that fingerprint. Bounds are decoded before registration so a
+// corrupt blob rejects the whole Register rather than half-applying it.
 func (s *Server) serveRegister(conn net.Conn, body []byte) error {
 	m, err := decodeRegister(body)
+	if err != nil {
+		return writeError(conn, service.KindBadRequest, err)
+	}
+	bounds, err := qos.DecodeBounds(m.Bounds)
 	if err != nil {
 		return writeError(conn, service.KindBadRequest, err)
 	}
@@ -145,6 +152,7 @@ func (s *Server) serveRegister(conn net.Conn, body []byte) error {
 	if err != nil {
 		return writeServiceError(conn, err)
 	}
+	s.svc.StoreBounds(h.Fingerprint, bounds)
 	return writeFrame(conn, kindRegistered, encodeRegistered(registeredMsg{Fingerprint: h.Fingerprint}))
 }
 
@@ -158,7 +166,7 @@ func (s *Server) serveSubmit(conn net.Conn, body []byte) error {
 	tk, err := s.svc.SubmitByFingerprint(context.Background(), m.Fingerprint,
 		service.Payload{Snapshot: m.Snapshot, Deltas: m.Deltas},
 		service.ChaseRequest{
-			Meta:             service.RequestMeta{Tenant: m.Tenant, Priority: m.Priority},
+			Meta:             service.RequestMeta{Tenant: m.Tenant, Priority: m.Priority, QoS: m.QoS},
 			Name:             m.Name,
 			Variant:          m.Variant,
 			MaxAtoms:         m.MaxAtoms,
@@ -189,6 +197,7 @@ func (s *Server) serveSubmit(conn net.Conn, body []byte) error {
 	out := resultMsg{
 		Terminated: res.Chase.Terminated,
 		Stats:      res.Chase.Stats,
+		Source:     res.BudgetSource,
 		Snapshot:   wire.EncodeSnapshot(res.Chase.Instance),
 		Derivation: RenderDerivation(res.Chase.Derivation),
 	}

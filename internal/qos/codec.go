@@ -1,0 +1,112 @@
+package qos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/chase"
+	"repro/internal/compile"
+)
+
+// ErrCorrupt reports a learned-bound blob that is not a canonical
+// encoding.
+var ErrCorrupt = errors.New("qos: corrupt learned-bound encoding")
+
+// maxEncodedBounds caps the records one blob may carry. There are three
+// chase variants, and the canonical form forbids duplicates, so any
+// larger count is corrupt by construction.
+const maxEncodedBounds = 8
+
+// EncodeBounds renders a fingerprint's learned bounds in the wire
+// codec's varint vocabulary: a uvarint record count, then per record the
+// variant byte, uvarint rounds, uvarint atoms, and an observed byte
+// (0/1). Records must be sorted by strictly increasing variant —
+// compile.Cache.Bounds returns exactly that shape — so the encoding is
+// canonical: DecodeBounds rejects anything else, and re-encoding a
+// decoded blob reproduces it byte for byte. The fleet coordinator ships
+// this blob to cold workers alongside the ontology pull.
+func EncodeBounds(bounds []compile.VariantBound) []byte {
+	if len(bounds) == 0 {
+		return nil
+	}
+	buf := binary.AppendUvarint(nil, uint64(len(bounds)))
+	for _, vb := range bounds {
+		buf = append(buf, byte(vb.Variant))
+		buf = binary.AppendUvarint(buf, uint64(vb.Bound.Rounds))
+		buf = binary.AppendUvarint(buf, uint64(vb.Bound.Atoms))
+		if vb.Bound.Observed {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeBounds parses an EncodeBounds blob, rejecting non-canonical
+// input: unknown variants, out-of-order or duplicate records, counter
+// overflow, truncation, and trailing bytes all fail with ErrCorrupt. An
+// empty blob decodes to nil.
+func DecodeBounds(data []byte) ([]compile.VariantBound, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	pos := 0
+	uvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad %s varint", ErrCorrupt, what)
+		}
+		pos += n
+		return v, nil
+	}
+	count, err := uvarint("count")
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > maxEncodedBounds {
+		return nil, fmt.Errorf("%w: record count %d", ErrCorrupt, count)
+	}
+	out := make([]compile.VariantBound, 0, count)
+	prev := chase.Variant(-1)
+	for i := uint64(0); i < count; i++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated record", ErrCorrupt)
+		}
+		v := chase.Variant(data[pos])
+		pos++
+		if v < chase.SemiOblivious || v > chase.Restricted {
+			return nil, fmt.Errorf("%w: unknown variant %d", ErrCorrupt, v)
+		}
+		if v <= prev {
+			return nil, fmt.Errorf("%w: variants out of order", ErrCorrupt)
+		}
+		prev = v
+		rounds, err := uvarint("rounds")
+		if err != nil {
+			return nil, err
+		}
+		atoms, err := uvarint("atoms")
+		if err != nil {
+			return nil, err
+		}
+		if rounds > math.MaxInt32 || atoms > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: counter overflow", ErrCorrupt)
+		}
+		if pos >= len(data) || data[pos] > 1 {
+			return nil, fmt.Errorf("%w: bad observed flag", ErrCorrupt)
+		}
+		observed := data[pos] == 1
+		pos++
+		out = append(out, compile.VariantBound{
+			Variant: v,
+			Bound:   compile.LearnedBound{Rounds: int(rounds), Atoms: int(atoms), Observed: observed},
+		})
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+	}
+	return out, nil
+}

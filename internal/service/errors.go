@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/checkpoint"
+	"repro/internal/qos"
 	rt "repro/internal/runtime"
 	"repro/internal/wire"
 )
@@ -134,7 +135,8 @@ func classify(err error) ErrorKind {
 	case errors.Is(err, wire.ErrCorrupt), errors.Is(err, wire.ErrDeltaMismatch),
 		errors.Is(err, checkpoint.ErrCorrupt):
 		return KindDecode
-	case errors.Is(err, checkpoint.ErrMismatch), errors.Is(err, checkpoint.ErrNotResumable):
+	case errors.Is(err, checkpoint.ErrMismatch), errors.Is(err, checkpoint.ErrNotResumable),
+		errors.Is(err, qos.ErrNoLearnedBound):
 		return KindBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return KindCanceled

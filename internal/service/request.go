@@ -8,6 +8,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/compile"
 	"repro/internal/logic"
+	"repro/internal/qos"
 	rt "repro/internal/runtime"
 	"repro/internal/tgds"
 	"repro/internal/wire"
@@ -61,12 +62,16 @@ const (
 
 // RequestMeta is the admission metadata of a request: the tenant it is
 // billed to (the scheduler dequeues round-robin across tenants within a
-// lane, so one tenant's backlog cannot starve another's) and its
-// priority lane. The zero value — anonymous tenant, normal priority — is
-// what the single-user CLIs submit.
+// lane, so one tenant's backlog cannot starve another's), its priority
+// lane, and its QoS policy — how much chase the request gets
+// (internal/qos: Exact, Bounded under the learned round bound, or
+// Anytime under a deadline/round quota, plus learn-mode profiling). The
+// zero value — anonymous tenant, normal priority, exact serving — is
+// what the single-user CLIs submit by default.
 type RequestMeta struct {
 	Tenant   string
 	Priority Priority
+	QoS      qos.Policy
 }
 
 // jobMeta converts to the scheduler's admission metadata.

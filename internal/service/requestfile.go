@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/qos"
 	"repro/internal/tgds"
 )
 
@@ -26,9 +27,12 @@ type RequestFile struct {
 	// Kind selects the operation: "chase", "decide", "experiment", or
 	// "resume" (continue a checkpointed chase over a delta).
 	Kind string `json:"kind"`
-	// Tenant and Priority ("high", "normal", "low") fill RequestMeta.
+	// Tenant and Priority ("high", "normal", "low") fill RequestMeta, as
+	// does QoS — the serving policy in qos.Parse's grammar ("exact",
+	// "learn", "bounded", "anytime:250ms", "anytime:3r", ...).
 	Tenant   string `json:"tenant,omitempty"`
 	Priority string `json:"priority,omitempty"`
+	QoS      string `json:"qos,omitempty"`
 	// Name labels the job (defaults per operation).
 	Name string `json:"name,omitempty"`
 
@@ -116,7 +120,11 @@ func (f *RequestFile) meta() (RequestMeta, error) {
 	if err != nil {
 		return RequestMeta{}, err
 	}
-	return RequestMeta{Tenant: f.Tenant, Priority: prio}, nil
+	policy, err := qos.Parse(f.QoS)
+	if err != nil {
+		return RequestMeta{}, err
+	}
+	return RequestMeta{Tenant: f.Tenant, Priority: prio, QoS: policy}, nil
 }
 
 // inputs loads the file's database payload and rule set.

@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/chase"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/logic"
+	"repro/internal/qos"
 	rt "repro/internal/runtime"
 	"repro/internal/telemetry"
 	"repro/internal/tgds"
@@ -213,10 +215,14 @@ func (s *Service) SubmitChase(ctx context.Context, req ChaseRequest) (*Ticket, e
 	if err != nil {
 		return nil, err
 	}
+	dec, fp, err := s.applyQoS(OpChase, name, req.Meta, req.Ontology, sigma,
+		req.Variant, req.MaxAtoms, req.MaxRounds, req.Wall)
+	if err != nil {
+		return nil, err
+	}
 	opts := chase.Options{
 		Variant:          req.Variant,
 		MaxAtoms:         req.MaxAtoms,
-		MaxRounds:        req.MaxRounds,
 		TrackForest:      req.TrackForest,
 		RecordDerivation: req.RecordDerivation,
 		NoSemiNaive:      req.NoSemiNaive,
@@ -224,15 +230,16 @@ func (s *Service) SubmitChase(ctx context.Context, req ChaseRequest) (*Ticket, e
 		Compile:          s.cache,
 		Checkpoint:       req.Checkpoint,
 	}
+	s.applyChaseDecision(&opts, dec, fp)
 	t, err := s.sched.SubmitChaseMeta(ctx, req.Meta.jobMeta(), name, db, sigma, opts,
-		rt.Budget{Wall: req.Wall}, executor(req.Workers, req.Executor))
+		rt.Budget{Wall: dec.Wall}, executor(req.Workers, req.Executor))
 	if err != nil {
 		return nil, wrapErr(OpChase, name, KindInternal, err)
 	}
 	if s.stel != nil {
 		s.stel.observeRequest(OpChase, req.Meta, req.Ontology)
 	}
-	return &Ticket{op: OpChase, rt: t, sigma: sigma}, nil
+	return s.ticket(OpChase, t, sigma, dec, req.MaxAtoms), nil
 }
 
 // SubmitDelta admits an incremental re-chase request: the checkpoint
@@ -275,9 +282,22 @@ func (s *Service) SubmitDelta(ctx context.Context, req DeltaRequest) (*Ticket, e
 			return nil, wrapErr(OpResume, name, KindDecode, fmt.Errorf("delta blob %d: %w", i, err))
 		}
 	}
+	if req.Meta.QoS.Learn {
+		// A learned bound describes a from-scratch reference run; a
+		// continuation's round count would understate it.
+		return nil, wrapErr(OpResume, name, KindBadRequest,
+			fmt.Errorf("bound learning needs a fresh reference run, not a resumed one"))
+	}
+	// The variant and fingerprint are pinned by the checkpoint, so
+	// Bounded resolves the same learned bound the original run would
+	// (its round budget then bounds the continuation's own rounds).
+	dec, _, err := s.applyQoS(OpResume, name, req.Meta, OntologyRef{Fingerprint: cp.Fingerprint}, sigma,
+		cp.Variant, req.MaxAtoms, req.MaxRounds, req.Wall)
+	if err != nil {
+		return nil, err
+	}
 	opts := chase.Options{
 		MaxAtoms:         req.MaxAtoms,
-		MaxRounds:        req.MaxRounds,
 		TrackForest:      req.TrackForest,
 		RecordDerivation: req.RecordDerivation,
 		NoSemiNaive:      req.NoSemiNaive,
@@ -285,15 +305,16 @@ func (s *Service) SubmitDelta(ctx context.Context, req DeltaRequest) (*Ticket, e
 		Compile:          s.cache,
 		Checkpoint:       req.Chain,
 	}
+	s.applyChaseDecision(&opts, dec, cp.Fingerprint)
 	t, err := s.sched.SubmitResumeMeta(ctx, req.Meta.jobMeta(), name, cp, sigma, req.Delta, opts,
-		rt.Budget{Wall: req.Wall}, executor(req.Workers, req.Executor))
+		rt.Budget{Wall: dec.Wall}, executor(req.Workers, req.Executor))
 	if err != nil {
 		return nil, wrapErr(OpResume, name, KindInternal, err)
 	}
 	if s.stel != nil {
 		s.stel.observeRequest(OpResume, req.Meta, req.Ontology)
 	}
-	return &Ticket{op: OpResume, rt: t, sigma: sigma}, nil
+	return s.ticket(OpResume, t, sigma, dec, req.MaxAtoms), nil
 }
 
 // SubmitByFingerprint is SubmitChase for a remote-shaped submission: the
@@ -319,6 +340,10 @@ func (s *Service) SubmitDecide(ctx context.Context, req DecideRequest) (*Ticket,
 			return nil, err
 		}
 	}
+	dec, req, err := s.decideQoS(name, req, sigma)
+	if err != nil {
+		return nil, err
+	}
 	run, err := s.decideRun(req, db, sigma)
 	if err != nil {
 		return nil, wrapErr(OpDecide, name, KindBadRequest, err)
@@ -331,7 +356,7 @@ func (s *Service) SubmitDecide(ctx context.Context, req DecideRequest) (*Ticket,
 	if s.stel != nil {
 		s.stel.observeRequest(OpDecide, req.Meta, req.Ontology)
 	}
-	return &Ticket{op: OpDecide, rt: t}, nil
+	return s.ticket(OpDecide, t, nil, dec, 0), nil
 }
 
 // decideRun builds the decision procedure for the request's method; the
@@ -403,6 +428,10 @@ func (s *Service) SubmitExperiment(ctx context.Context, req ExperimentRequest) (
 	if err != nil {
 		return nil, wrapErr(OpExperiment, name, KindBadRequest, err)
 	}
+	dec, err := s.experimentQoS(name, &req)
+	if err != nil {
+		return nil, err
+	}
 	cfg := experiments.Config{
 		Quick:    req.Quick,
 		Workers:  req.Workers,
@@ -418,7 +447,7 @@ func (s *Service) SubmitExperiment(ctx context.Context, req ExperimentRequest) (
 	if s.stel != nil {
 		s.stel.observeRequest(OpExperiment, req.Meta, OntologyRef{})
 	}
-	return &Ticket{op: OpExperiment, rt: t}, nil
+	return s.ticket(OpExperiment, t, nil, dec, 0), nil
 }
 
 // Ticket is one admitted request's handle: Wait (or Done) for the typed
@@ -430,6 +459,20 @@ type Ticket struct {
 	// sigma is the resolved ontology of a chase/resume request, retained
 	// so EncodeCheckpoint can bind the artifact to it.
 	sigma *tgds.Set
+	// dec is the request's resolved QoS decision and maxAtoms its
+	// explicit atom budget: together they name the budget source of a
+	// truncated result (Result.BudgetSource) deterministically.
+	dec      qos.Decision
+	maxAtoms int
+	// stel bills the per-mode QoS outcome metrics exactly once per
+	// ticket (Wait may be called repeatedly); nil when telemetry is off.
+	stel    *svcTelemetry
+	qosOnce sync.Once
+}
+
+// ticket assembles a request's handle.
+func (s *Service) ticket(op Op, t *rt.Ticket, sigma *tgds.Set, dec qos.Decision, maxAtoms int) *Ticket {
+	return &Ticket{op: op, rt: t, sigma: sigma, dec: dec, maxAtoms: maxAtoms, stel: s.stel}
 }
 
 // Name returns the job's name.
@@ -453,8 +496,21 @@ func (t *Ticket) Cancel() { t.rt.Cancel() }
 func (t *Ticket) Progress() <-chan chase.Stats { return t.rt.Progress() }
 
 // Wait blocks until the job finishes and returns its typed result;
-// repeated calls return the same result.
-func (t *Ticket) Wait() Result { return resultOf(t.op, t.rt.Wait()) }
+// repeated calls return the same result. A budget-truncated chase
+// result carries the budget's source (flag, deadline, or learned-bound)
+// resolved from the ticket's QoS decision, and the per-mode QoS
+// telemetry — outcome counters and the deadline-slack histogram — is
+// billed here, once per ticket.
+func (t *Ticket) Wait() Result {
+	r := resultOf(t.op, t.rt.Wait())
+	if r.Chase != nil && !r.Chase.Terminated {
+		r.BudgetSource = t.dec.TruncationSource(t.maxAtoms, r.Chase.Stats)
+	}
+	if t.stel != nil {
+		t.qosOnce.Do(func() { t.stel.observeQoS(t.dec, r) })
+	}
+	return r
+}
 
 // EncodeChase waits for a chase result and encodes its materialized
 // instance as a portable wire snapshot — the reply-path encode of a
@@ -527,6 +583,12 @@ type Result struct {
 	Verdict *core.Verdict
 	Table   *experiments.Table
 	Err     error
+
+	// BudgetSource names the budget that stopped a truncated chase run —
+	// the vocabulary of the CLI's "% truncated: <source> budget
+	// exhausted" marker. Meaningful only when Chase is non-nil and not
+	// terminated; the zero value is qos.SourceFlag, the pre-QoS behavior.
+	BudgetSource qos.Source
 }
 
 // Stats returns the chase statistics of a chase result (zero otherwise).

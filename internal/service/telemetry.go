@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/compile"
+	"repro/internal/qos"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -18,6 +19,10 @@ import (
 type svcTelemetry struct {
 	requests *telemetry.CounterVec // service_requests_total{op,lane,tenant}
 	byOnt    *telemetry.CounterVec // service_requests_by_ontology_total{ontology}
+
+	qosRequests *telemetry.CounterVec // service_qos_requests_total{mode,outcome}
+	qosSlack    *telemetry.Histogram  // service_qos_deadline_slack_seconds
+	qosLearned  *telemetry.Counter    // service_qos_bounds_learned_total
 }
 
 // newSvcTelemetry wires the service families into tel's registry and
@@ -39,6 +44,14 @@ func newSvcTelemetry(tel *telemetry.Telemetry, cache *compile.Cache) (*svcTeleme
 		byOnt: r.CounterVec("service_requests_by_ontology_total",
 			"Requests by ontology fingerprint prefix (inline = ontology attached to the request).",
 			"ontology"),
+		qosRequests: r.CounterVec("service_qos_requests_total",
+			"Finished requests by QoS mode (exact, bounded, anytime) and outcome (terminated, truncated, canceled, error).",
+			"mode", "outcome"),
+		qosSlack: r.Histogram("service_qos_deadline_slack_seconds",
+			"Unused fraction of an anytime deadline: deadline minus the job's wall clock, clamped at zero.",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
+		qosLearned: r.Counter("service_qos_bounds_learned_total",
+			"Termination bounds stored by learn-mode runs."),
 	}
 	registerCacheCollector(r, cache)
 	release := wire.RegisterMeter(&wireMeter{
@@ -68,6 +81,33 @@ func (m *svcTelemetry) observeRequest(op Op, meta RequestMeta, ref OntologyRef) 
 		ont = hex.EncodeToString(ref.Fingerprint[:4])
 	}
 	m.byOnt.With(ont).Inc()
+}
+
+// observeQoS bills one finished request's QoS outcome: the per-mode
+// counter, the deadline-slack histogram for anytime runs, and the
+// learned-bound counter for learn-mode runs that finished with a result
+// to record. Called once per ticket, from the first Wait.
+func (m *svcTelemetry) observeQoS(dec qos.Decision, r Result) {
+	outcome := "terminated"
+	switch {
+	case r.Canceled:
+		outcome = "canceled"
+	case r.Err != nil:
+		outcome = "error"
+	case r.TimedOut, r.Chase != nil && !r.Chase.Terminated:
+		outcome = "truncated"
+	}
+	m.qosRequests.With(dec.Mode.String(), outcome).Inc()
+	if dec.Deadline > 0 {
+		slack := (dec.Deadline - r.Wall).Seconds()
+		if slack < 0 {
+			slack = 0
+		}
+		m.qosSlack.Observe(slack)
+	}
+	if dec.Learn && r.Err == nil && r.Chase != nil {
+		m.qosLearned.Inc()
+	}
 }
 
 // registerCacheCollector publishes the compile cache's own counters
